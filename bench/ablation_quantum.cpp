@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation (DESIGN.md): sensitivity of simulated runtime to the
+ * engine's thread-interleaving quantum. The quantum approximates
+ * concurrent shared-cache access order; results should be stable
+ * across a wide range of quantum sizes.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/support/stats.h"
+
+int
+main()
+{
+    using namespace bp;
+    printHeader("Ablation: thread-interleaving quantum sensitivity",
+                "simulator design choice (DESIGN.md)");
+
+    std::printf("%-20s %14s %14s %14s %12s\n", "benchmark", "Q=250",
+                "Q=1000", "Q=4000", "spread%");
+
+    for (const auto &name : {std::string("npb-ft"), std::string("npb-is"),
+                             std::string("npb-cg"),
+                             std::string("parsec-bodytrack")}) {
+        WorkloadParams params;
+        params.threads = 8;
+        const auto workload = makeWorkload(name, params);
+        double cycles[3];
+        unsigned idx = 0;
+        for (const unsigned quantum : {250u, 1000u, 4000u}) {
+            MachineConfig machine = MachineConfig::cores8();
+            machine.quantum = quantum;
+            cycles[idx++] = runReference(*workload, machine).totalCycles();
+        }
+        const double lo = std::min({cycles[0], cycles[1], cycles[2]});
+        const double hi = std::max({cycles[0], cycles[1], cycles[2]});
+        std::printf("%-20s %14.0f %14.0f %14.0f %11.2f%%\n", name.c_str(),
+                    cycles[0], cycles[1], cycles[2],
+                    100.0 * (hi - lo) / lo);
+    }
+    return 0;
+}

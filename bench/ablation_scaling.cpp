@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ablation (Section VI-A): disable the multiplier-based barrierpoint
+ * scaling during reconstruction. The paper reports the average error
+ * rising from 0.6 % to 19.4 % — variable-length regions make length
+ * correction essential.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/support/stats.h"
+
+int
+main()
+{
+    using namespace bp;
+    printHeader("Ablation: reconstruction without multiplier scaling",
+                "Section VI-A (0.6% -> 19.4% result)");
+
+    BenchContext ctx;
+    std::printf("%-20s %14s %14s\n", "benchmark", "scaled err%",
+                "unscaled err%");
+
+    RunningStat scaled_all, unscaled_all;
+    for (const auto &name : benchWorkloads()) {
+        RunningStat scaled, unscaled;
+        for (const unsigned threads : {8u, 32u}) {
+            const auto &analysis = ctx.analysis(name, threads);
+            const auto &reference = ctx.reference(name, threads);
+            const auto stats = perfectWarmupStats(analysis, reference);
+            scaled.add(percentAbsError(
+                reconstruct(analysis, stats, true).totalCycles,
+                reference.totalCycles()));
+            unscaled.add(percentAbsError(
+                reconstruct(analysis, stats, false).totalCycles,
+                reference.totalCycles()));
+        }
+        scaled_all.add(scaled.mean());
+        unscaled_all.add(unscaled.mean());
+        std::printf("%-20s %14.2f %14.2f\n", name.c_str(), scaled.mean(),
+                    unscaled.mean());
+    }
+    std::printf("\naverage: %.2f%% scaled vs %.2f%% unscaled\n",
+                scaled_all.mean(), unscaled_all.mean());
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation (Section III-A4): concatenating per-thread signature
+ * vectors versus summing them. Concatenation exposes inter-thread
+ * heterogeneity to the clustering; summation hides it.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/support/stats.h"
+
+int
+main()
+{
+    using namespace bp;
+    printHeader("Ablation: per-thread SV concatenation vs summation",
+                "Section III-A4");
+
+    BenchContext ctx;
+    std::printf("%-20s %12s %12s %12s %12s\n", "benchmark",
+                "concat err%", "concat bps", "sum err%", "sum bps");
+
+    RunningStat concat_all, sum_all;
+    for (const auto &name : benchWorkloads()) {
+        double err[2];
+        double bps[2];
+        unsigned idx = 0;
+        for (const bool concat : {true, false}) {
+            RunningStat errs, points;
+            for (const unsigned threads : {8u, 32u}) {
+                BarrierPointOptions options;
+                options.signature.concatenateThreads = concat;
+                const auto analysis = analyzeProfiles(
+                    ctx.profiles(name, threads), options);
+                const auto &reference = ctx.reference(name, threads);
+                const auto estimate = reconstruct(
+                    analysis, perfectWarmupStats(analysis, reference));
+                errs.add(percentAbsError(estimate.totalCycles,
+                                         reference.totalCycles()));
+                points.add(static_cast<double>(analysis.points.size()));
+            }
+            err[idx] = errs.mean();
+            bps[idx] = points.mean();
+            ++idx;
+        }
+        concat_all.add(err[0]);
+        sum_all.add(err[1]);
+        std::printf("%-20s %12.2f %12.1f %12.2f %12.1f\n", name.c_str(),
+                    err[0], bps[0], err[1], bps[1]);
+    }
+    std::printf("\naverage: %.2f%% concatenated vs %.2f%% summed\n",
+                concat_all.mean(), sum_all.mean());
+    return 0;
+}

@@ -1,0 +1,83 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+namespace bp {
+
+std::vector<std::string>
+benchWorkloads()
+{
+    return workloadNames();
+}
+
+void
+printHeader(const std::string &title, const std::string &source)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s (BarrierPoint, ISPASS 2014)\n",
+                source.c_str());
+    std::printf("==============================================================\n");
+}
+
+MachineConfig
+BenchContext::machine(unsigned threads)
+{
+    return MachineConfig::withCores(threads);
+}
+
+Workload &
+BenchContext::workload(const std::string &name, unsigned threads)
+{
+    const Key key{name, threads};
+    auto it = workloads_.find(key);
+    if (it == workloads_.end()) {
+        WorkloadParams params;
+        params.threads = threads;
+        params.scale = scale_;
+        it = workloads_.emplace(key, makeWorkload(name, params)).first;
+    }
+    return *it->second;
+}
+
+const std::vector<RegionProfile> &
+BenchContext::profiles(const std::string &name, unsigned threads)
+{
+    const Key key{name, threads};
+    auto it = profiles_.find(key);
+    if (it == profiles_.end()) {
+        it = profiles_.emplace(key,
+                               profileWorkload(workload(name, threads)))
+                 .first;
+    }
+    return it->second;
+}
+
+const RunResult &
+BenchContext::reference(const std::string &name, unsigned threads)
+{
+    const Key key{name, threads};
+    auto it = references_.find(key);
+    if (it == references_.end()) {
+        it = references_.emplace(key,
+                                 runReference(workload(name, threads),
+                                              machine(threads)))
+                 .first;
+    }
+    return it->second;
+}
+
+const BarrierPointAnalysis &
+BenchContext::analysis(const std::string &name, unsigned threads)
+{
+    const Key key{name, threads};
+    auto it = analyses_.find(key);
+    if (it == analyses_.end()) {
+        it = analyses_.emplace(key,
+                               analyzeProfiles(profiles(name, threads)))
+                 .first;
+    }
+    return it->second;
+}
+
+} // namespace bp

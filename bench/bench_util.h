@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared infrastructure for the experiment-reproduction binaries.
+ *
+ * Each bench binary regenerates one table or figure of the paper.
+ * BenchContext memoizes the expensive inputs (profiles, reference
+ * runs) so a binary that needs several views of the same benchmark
+ * pays for them once.
+ */
+
+#ifndef BP_BENCH_BENCH_UTIL_H
+#define BP_BENCH_BENCH_UTIL_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/barrierpoint.h"
+
+namespace bp {
+
+/** Workloads in the paper's order. */
+std::vector<std::string> benchWorkloads();
+
+/** Print a standard header naming the reproduced table/figure. */
+void printHeader(const std::string &title, const std::string &source);
+
+/** Memoizing provider of workloads, profiles and reference runs. */
+class BenchContext
+{
+  public:
+    explicit BenchContext(double scale = 1.0) : scale_(scale) {}
+
+    /** The machine configuration used for @p threads cores. */
+    static MachineConfig machine(unsigned threads);
+
+    Workload &workload(const std::string &name, unsigned threads);
+
+    const std::vector<RegionProfile> &profiles(const std::string &name,
+                                               unsigned threads);
+
+    const RunResult &reference(const std::string &name, unsigned threads);
+
+    /** Analysis with default options (memoized). */
+    const BarrierPointAnalysis &analysis(const std::string &name,
+                                         unsigned threads);
+
+    double scale() const { return scale_; }
+
+  private:
+    using Key = std::pair<std::string, unsigned>;
+
+    double scale_;
+    std::map<Key, std::unique_ptr<Workload>> workloads_;
+    std::map<Key, std::vector<RegionProfile>> profiles_;
+    std::map<Key, RunResult> references_;
+    std::map<Key, BarrierPointAnalysis> analyses_;
+};
+
+} // namespace bp
+
+#endif // BP_BENCH_BENCH_UTIL_H

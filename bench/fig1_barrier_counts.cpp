@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figure 1: total number of dynamically executed barriers per
+ * benchmark, at 8 and 32 threads. The counts are thread-count
+ * invariant, the property that makes inter-barrier regions fixed
+ * units of work.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace bp;
+    printHeader("Dynamic barrier counts (8 vs 32 threads)", "Figure 1");
+
+    std::printf("%-20s %12s %12s\n", "benchmark", "8 threads",
+                "32 threads");
+    BenchContext ctx;
+    for (const auto &name : benchWorkloads()) {
+        const unsigned b8 = ctx.workload(name, 8).regionCount();
+        const unsigned b32 = ctx.workload(name, 32).regionCount();
+        std::printf("%-20s %12u %12u%s\n", name.c_str(), b8, b32,
+                    b8 == b32 ? "" : "  (MISMATCH)");
+    }
+    return 0;
+}

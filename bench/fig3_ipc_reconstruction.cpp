@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 3: aggregate application IPC over time (original full
+ * simulation), the IPC rebuilt from barrierpoint representatives,
+ * and the selected barrierpoints — npb-ft on 32 cores.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/support/stats.h"
+
+int
+main()
+{
+    using namespace bp;
+    printHeader("npb-ft 32-core IPC: original vs reconstructed",
+                "Figure 3");
+
+    BenchContext ctx;
+    const std::string name = "npb-ft";
+    const unsigned threads = 32;
+    const auto machine = BenchContext::machine(threads);
+
+    const auto &analysis = ctx.analysis(name, threads);
+    const auto &reference = ctx.reference(name, threads);
+    const auto stats = perfectWarmupStats(analysis, reference);
+    const auto timeline = reconstructTimeline(analysis, stats);
+
+    std::printf("%-7s %12s %12s %10s %12s %5s\n", "region", "t_start(ms)",
+                "dur(ms)", "ipc_orig", "ipc_reconst", "bp");
+    for (size_t i = 0; i < reference.regions.size(); ++i) {
+        const auto &orig = reference.regions[i];
+        const auto &rec = timeline[i];
+        std::printf("%-7zu %12.4f %12.4f %10.2f %12.2f %5s\n", i,
+                    1e3 * machine.secondsFromCycles(orig.startCycle),
+                    1e3 * machine.secondsFromCycles(orig.cycles),
+                    orig.ipc(), rec.ipc, rec.isBarrierPoint ? "*" : "");
+    }
+
+    const auto estimate = reconstruct(analysis, stats);
+    std::printf("\ntotal runtime   : original %.4f ms, reconstructed "
+                "%.4f ms (error %.2f%%)\n",
+                1e3 * machine.secondsFromCycles(reference.totalCycles()),
+                1e3 * machine.secondsFromCycles(estimate.totalCycles),
+                percentAbsError(estimate.totalCycles,
+                                reference.totalCycles()));
+    std::printf("barrierpoints   : %zu of %u regions\n",
+                analysis.points.size(), analysis.numRegions());
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 4: percent absolute error for predicting application
+ * execution time (left) and absolute DRAM APKI difference (right),
+ * assuming perfect warmup — isolating barrierpoint-selection error.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/support/stats.h"
+
+int
+main()
+{
+    using namespace bp;
+    printHeader("Runtime error and DRAM APKI difference, perfect warmup",
+                "Figure 4");
+
+    BenchContext ctx;
+    std::printf("%-20s %14s %14s %16s %16s\n", "benchmark",
+                "err%% (8c)", "err%% (32c)", "APKI diff (8c)",
+                "APKI diff (32c)");
+
+    RunningStat err_all, apki_all;
+    for (const auto &name : benchWorkloads()) {
+        double err[2], apki[2];
+        unsigned idx = 0;
+        for (const unsigned threads : {8u, 32u}) {
+            const auto &analysis = ctx.analysis(name, threads);
+            const auto &reference = ctx.reference(name, threads);
+            const auto estimate = reconstruct(
+                analysis, perfectWarmupStats(analysis, reference));
+            err[idx] = percentAbsError(estimate.totalCycles,
+                                       reference.totalCycles());
+            apki[idx] = std::fabs(estimate.dramApki() -
+                                  reference.dramApki());
+            err_all.add(err[idx]);
+            apki_all.add(apki[idx]);
+            ++idx;
+        }
+        std::printf("%-20s %14.2f %14.2f %16.3f %16.3f\n", name.c_str(),
+                    err[0], err[1], apki[0], apki[1]);
+    }
+    std::printf("\naverage abs runtime error : %.2f%%  (max %.2f%%)\n",
+                err_all.mean(), err_all.max());
+    std::printf("average abs APKI diff     : %.3f   (max %.3f)\n",
+                apki_all.mean(), apki_all.max());
+    std::printf("paper: avg 0.6%%, max 2.8%% runtime error; APKI diff "
+                "<= 0.6\n");
+    return 0;
+}

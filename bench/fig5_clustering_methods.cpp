@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 5: average absolute execution-time prediction error for
+ * different similarity metrics (bbv, reuse_dist, combine; LDV
+ * weighting 1/v in {1, 1/2, 1/5}) and different maxK (1, 5, 10, 20),
+ * averaged over all benchmarks at 8 and 32 cores, perfect warmup.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/support/stats.h"
+
+namespace {
+
+struct Method
+{
+    const char *label;
+    bp::SignatureKind kind;
+    double invV;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace bp;
+    printHeader("Clustering method x maxK sweep (avg abs % error)",
+                "Figure 5");
+
+    const Method methods[] = {
+        {"bbv", SignatureKind::Bbv, 0.0},
+        {"reuse_dist", SignatureKind::Ldv, 0.0},
+        {"reuse_dist-1_2", SignatureKind::Ldv, 0.5},
+        {"reuse_dist-1_5", SignatureKind::Ldv, 0.2},
+        {"combine", SignatureKind::Combined, 0.0},
+        {"combine-1_2", SignatureKind::Combined, 0.5},
+        {"combine-1_5", SignatureKind::Combined, 0.2},
+    };
+    const unsigned ks[] = {1, 5, 10, 20};
+
+    BenchContext ctx;
+    std::printf("%-18s %10s %10s %10s %10s\n", "method", "maxK=1",
+                "maxK=5", "maxK=10", "maxK=20");
+
+    for (const Method &method : methods) {
+        double avg[4] = {0, 0, 0, 0};
+        for (unsigned ki = 0; ki < 4; ++ki) {
+            RunningStat errs;
+            for (const auto &name : benchWorkloads()) {
+                for (const unsigned threads : {8u, 32u}) {
+                    BarrierPointOptions options;
+                    options.signature.kind = method.kind;
+                    options.signature.ldvWeightInvV = method.invV;
+                    options.clustering.maxK = ks[ki];
+                    const auto analysis = analyzeProfiles(
+                        ctx.profiles(name, threads), options);
+                    const auto &reference = ctx.reference(name, threads);
+                    const auto estimate = reconstruct(
+                        analysis,
+                        perfectWarmupStats(analysis, reference));
+                    errs.add(percentAbsError(estimate.totalCycles,
+                                             reference.totalCycles()));
+                }
+            }
+            avg[ki] = errs.mean();
+        }
+        std::printf("%-18s %10.2f %10.2f %10.2f %10.2f\n", method.label,
+                    avg[0], avg[1], avg[2], avg[3]);
+    }
+    std::printf("\npaper shape: maxK=1 is poor; accuracy improves with "
+                "maxK; combined signatures are best at large maxK\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 6: barrierpoint selection cross-validation. Signatures
+ * collected at one thread count select regions and multipliers that
+ * are then applied to the other core count's simulation. Low error in
+ * all four combinations shows barrierpoints are fixed units of work
+ * transferable across processor architectures.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/support/stats.h"
+
+int
+main()
+{
+    using namespace bp;
+    printHeader("Barrierpoint cross-validation across core counts",
+                "Figure 6");
+
+    BenchContext ctx;
+    std::printf("%-20s %12s %12s %12s %12s\n", "benchmark", "8c/8c-SV",
+                "8c/32c-SV", "32c/8c-SV", "32c/32c-SV");
+
+    for (const auto &name : benchWorkloads()) {
+        double err[4];
+        unsigned idx = 0;
+        for (const unsigned sim_threads : {8u, 32u}) {
+            for (const unsigned sv_threads : {8u, 32u}) {
+                const auto &analysis = ctx.analysis(name, sv_threads);
+                const auto &reference = ctx.reference(name, sim_threads);
+                // Apply the SV-derived selection to the target machine:
+                // perfect-warmup stats for the selected regions.
+                const auto stats =
+                    perfectWarmupStats(analysis, reference);
+                const auto estimate = reconstruct(analysis, stats);
+                // column order: sim 8 (sv 8, sv 32), sim 32 (sv 8, sv 32)
+                const unsigned column =
+                    (sim_threads == 8 ? 0 : 2) + (sv_threads == 8 ? 0 : 1);
+                err[column] = percentAbsError(estimate.totalCycles,
+                                              reference.totalCycles());
+                ++idx;
+            }
+        }
+        std::printf("%-20s %12.2f %12.2f %12.2f %12.2f\n", name.c_str(),
+                    err[0], err[1], err[2], err[3]);
+    }
+    std::printf("\npaper shape: cross combinations match the native ones; "
+                "regions transfer across core counts\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 9: achieved simulation speedups. Serial speedup = reduction
+ * in aggregate simulated instructions (back-to-back barrierpoints vs
+ * the full run) — the reduction in required machine resources.
+ * Parallel speedup = full-run instructions over the largest single
+ * barrierpoint (all barrierpoints simulated concurrently).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/support/stats.h"
+
+int
+main()
+{
+    using namespace bp;
+    printHeader("Simulation speedups from sampling", "Figure 9");
+
+    BenchContext ctx;
+    std::printf("%-24s %10s %10s %12s\n", "benchmark-cores", "serial",
+                "parallel", "resources");
+
+    std::vector<double> parallel_speedups;
+    RunningStat serial_stats, resource_stats;
+    for (const auto &name : benchWorkloads()) {
+        for (const unsigned threads : {8u, 32u}) {
+            const auto &analysis = ctx.analysis(name, threads);
+            const double serial = analysis.serialSpeedup();
+            const double parallel = analysis.parallelSpeedup();
+            const double resources = analysis.resourceReduction();
+            std::printf("%-21s%-3u %10.1f %10.1f %12.1f\n",
+                        (name + "-").c_str(), threads, serial, parallel,
+                        resources);
+            parallel_speedups.push_back(parallel);
+            serial_stats.add(serial);
+            resource_stats.add(resources);
+        }
+    }
+    std::printf("\nharmonic-mean parallel speedup : %.1fx (max %.1fx)\n",
+                harmonicMean(parallel_speedups),
+                *std::max_element(parallel_speedups.begin(),
+                                  parallel_speedups.end()));
+    std::printf("average serial speedup         : %.1fx\n",
+                serial_stats.mean());
+    std::printf("average resource reduction     : %.1fx\n",
+                resource_stats.mean());
+    std::printf("paper: harmonic-mean parallel 24.7x (max 866.6x), "
+                "average resource reduction 78x\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Engineering microbenchmarks (google-benchmark): throughput of the
+ * three hot paths — trace generation, profiling (exact reuse
+ * distances), and detailed timing simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/barrierpoint.h"
+#include "src/profile/region_profiler.h"
+
+namespace {
+
+using namespace bp;
+
+std::unique_ptr<Workload>
+benchWorkload()
+{
+    WorkloadParams params;
+    params.threads = 8;
+    return makeWorkload("npb-ft", params);
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto workload = benchWorkload();
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        const RegionTrace trace = workload->generateRegion(5);
+        ops += trace.totalOps();
+        benchmark::DoNotOptimize(trace.totalOps());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_Profiling(benchmark::State &state)
+{
+    const auto workload = benchWorkload();
+    const RegionTrace trace = workload->generateRegion(5);
+    RegionProfiler profiler(workload->threadCount());
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        const RegionProfile profile = profiler.profileRegion(trace);
+        ops += profile.instructions();
+        benchmark::DoNotOptimize(profile.instructions());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_Profiling);
+
+void
+BM_DetailedSimulation(benchmark::State &state)
+{
+    const auto workload = benchWorkload();
+    const RegionTrace trace = workload->generateRegion(5);
+    MultiCoreSim sim(MachineConfig::cores8());
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        const RegionStats stats = sim.simulateRegion(trace);
+        ops += stats.instructions;
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(ops));
+}
+BENCHMARK(BM_DetailedSimulation);
+
+void
+BM_MemSystemAccess(benchmark::State &state)
+{
+    MemSystemConfig cfg;
+    MemSystem mem(cfg);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mem.access(0, (addr++ % 100000) * 64, false, 0.0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemSystemAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table I: simulated system characteristics.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+void
+printMachine(const bp::MachineConfig &m)
+{
+    std::printf("\n-- %s (%u sockets x %u cores) --\n", m.name.c_str(),
+                m.mem.numSockets(), m.mem.coresPerSocket);
+    std::printf("core            : %.2f GHz, %u-way issue, %u-entry ROB\n",
+                m.freqGHz, m.issueWidth, m.robSize);
+    std::printf("branch predictor: block-successor table, %u cycle penalty\n",
+                m.branchPenalty);
+    std::printf("L1-I            : %lu KB, %u way, %u cycle (modelled ideal)\n",
+                (unsigned long)(m.mem.l1i.sizeBytes / 1024), m.mem.l1i.assoc,
+                m.mem.l1i.latency);
+    std::printf("L1-D            : %lu KB, %u way, %u cycle\n",
+                (unsigned long)(m.mem.l1d.sizeBytes / 1024), m.mem.l1d.assoc,
+                m.mem.l1d.latency);
+    std::printf("L2              : %lu KB per core, %u way, %u cycle\n",
+                (unsigned long)(m.mem.l2.sizeBytes / 1024), m.mem.l2.assoc,
+                m.mem.l2.latency);
+    std::printf("L3              : %lu MB per %u cores, %u way, %u cycle\n",
+                (unsigned long)(m.mem.l3.sizeBytes / (1024 * 1024)),
+                m.mem.coresPerSocket, m.mem.l3.assoc, m.mem.l3.latency);
+    std::printf("main memory     : %.0f cycles (65 ns), %.1f cycles/64B "
+                "per socket (8 GB/s)\n",
+                m.mem.dramLatency, m.mem.dramTransferCycles);
+    std::printf("coherence       : MSI directory (core masks in socket, "
+                "socket masks at memory)\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bp;
+    printHeader("Simulated system characteristics", "Table I");
+    printMachine(MachineConfig::cores8());
+    printMachine(MachineConfig::cores32());
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table III: per benchmark and core count — total dynamic barriers,
+ * significant barrierpoint count, insignificant barrierpoint summary
+ * (count / combined multiplier / total weight), and the selected
+ * barrierpoints with their multipliers.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace bp;
+    printHeader("Selected barrierpoints and multipliers", "Table III");
+
+    BenchContext ctx;
+    for (const auto &name : benchWorkloads()) {
+        for (const unsigned threads : {8u, 32u}) {
+            const auto &analysis = ctx.analysis(name, threads);
+
+            unsigned insig_count = 0;
+            double insig_mult = 0.0, insig_weight = 0.0;
+            for (const auto &pt : analysis.points) {
+                if (!pt.significant) {
+                    ++insig_count;
+                    insig_mult += pt.multiplier;
+                    insig_weight += pt.weightFraction;
+                }
+            }
+
+            std::printf("\n%s, %u cores: %u barriers, %u significant "
+                        "barrierpoints\n",
+                        name.c_str(), threads, analysis.numRegions(),
+                        analysis.numSignificant());
+            std::printf("  insignificant: %u (combined multiplier %.1f, "
+                        "total weight %.1e)\n",
+                        insig_count, insig_mult, insig_weight);
+            std::printf("  barrierpoints:");
+            unsigned printed = 0;
+            for (const auto &pt : analysis.points) {
+                if (!pt.significant)
+                    continue;
+                if (printed > 0 && printed % 5 == 0)
+                    std::printf("\n                ");
+                std::printf(" %u (%.1f)", pt.region, pt.multiplier);
+                ++printed;
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\npaper shape: 2-16 barrierpoints per benchmark, two to "
+                "three orders of magnitude fewer than barriers\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: sampled simulation of one benchmark, end to end.
+ *
+ * Runs the complete BarrierPoint flow on npb-ft (8 threads):
+ *   1. one-time microarchitecture-independent analysis
+ *      (profile -> signatures -> clustering -> barrierpoints),
+ *   2. detailed simulation of only the barrierpoints with MRU-replay
+ *      cache warmup,
+ *   3. whole-program runtime reconstruction,
+ * and compares the estimate against a full detailed reference run.
+ *
+ * Usage: quickstart [workload-name] [threads]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/barrierpoint.h"
+#include "src/support/stats.h"
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "npb-ft";
+    const unsigned threads =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 8;
+
+    bp::WorkloadParams params;
+    params.threads = threads;
+    const auto workload = bp::makeWorkload(name, params);
+    const bp::MachineConfig machine = bp::MachineConfig::withCores(threads);
+
+    std::printf("workload        : %s (%u regions, %u threads)\n",
+                workload->name().c_str(), workload->regionCount(), threads);
+
+    // --- one-time analysis (the paper's left column of Figure 2) ---
+    const bp::BarrierPointAnalysis analysis =
+        bp::analyzeWorkload(*workload);
+    std::printf("barrierpoints   : %zu (%u significant), k chosen = %u\n",
+                analysis.points.size(), analysis.numSignificant(),
+                analysis.chosenK);
+    for (const auto &point : analysis.points) {
+        std::printf("  region %5u  multiplier %8.2f  weight %6.3f%%%s\n",
+                    point.region, point.multiplier,
+                    100.0 * point.weightFraction,
+                    point.significant ? "" : "  (insignificant)");
+    }
+
+    // --- detailed simulation of the barrierpoints only ---
+    const auto stats = bp::simulateBarrierPoints(
+        *workload, machine, analysis, bp::WarmupPolicy::MruReplay);
+    const bp::Estimate estimate = bp::reconstruct(analysis, stats);
+
+    // --- reference: detailed simulation of the whole application ---
+    const bp::RunResult reference = bp::runReference(*workload, machine);
+
+    const double est_seconds = machine.secondsFromCycles(
+        estimate.totalCycles);
+    const double ref_seconds = machine.secondsFromCycles(
+        reference.totalCycles());
+    std::printf("\nestimated time  : %.6f s   (APKI %.3f)\n", est_seconds,
+                estimate.dramApki());
+    std::printf("reference time  : %.6f s   (APKI %.3f)\n", ref_seconds,
+                reference.dramApki());
+    std::printf("runtime error   : %.2f %%\n",
+                bp::percentAbsError(estimate.totalCycles,
+                                    reference.totalCycles()));
+    std::printf("serial speedup  : %.1fx   parallel speedup: %.1fx   "
+                "resource reduction: %.1fx\n",
+                analysis.serialSpeedup(), analysis.parallelSpeedup(),
+                analysis.resourceReduction());
+    return 0;
+}

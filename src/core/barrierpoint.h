@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Umbrella header: the full public BarrierPoint API.
+ *
+ * Typical use:
+ * @code
+ *   auto wl = bp::makeWorkload("npb-ft", {.threads = 8});
+ *   auto analysis = bp::analyzeWorkload(*wl);
+ *   auto machine = bp::MachineConfig::cores8();
+ *   auto stats = bp::simulateBarrierPoints(*wl, machine, analysis,
+ *                                          bp::WarmupPolicy::MruReplay);
+ *   auto estimate = bp::reconstruct(analysis, stats);
+ * @endcode
+ */
+
+#ifndef BP_CORE_BARRIERPOINT_H
+#define BP_CORE_BARRIERPOINT_H
+
+#include "src/core/kmeans.h"
+#include "src/core/pipeline.h"
+#include "src/core/reconstruction.h"
+#include "src/core/selection.h"
+#include "src/core/signature.h"
+#include "src/sim/machine_config.h"
+#include "src/sim/multicore_sim.h"
+#include "src/workloads/registry.h"
+
+#endif // BP_CORE_BARRIERPOINT_H

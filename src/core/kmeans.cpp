@@ -1,0 +1,247 @@
+#include "src/core/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/core/signature.h"
+#include "src/support/logging.h"
+#include "src/support/rng.h"
+
+namespace bp {
+
+namespace {
+
+/** Weighted k-means++ seeding. */
+std::vector<std::vector<double>>
+seedCentroids(const std::vector<std::vector<double>> &points,
+              const std::vector<double> &weights, unsigned k, Rng &rng)
+{
+    const size_t n = points.size();
+    std::vector<std::vector<double>> centroids;
+    centroids.reserve(k);
+
+    // First centroid: weighted random point.
+    double total_weight = 0.0;
+    for (const double w : weights)
+        total_weight += w;
+    double pick = rng.nextDouble() * total_weight;
+    size_t first = 0;
+    for (size_t i = 0; i < n; ++i) {
+        pick -= weights[i];
+        if (pick <= 0.0) {
+            first = i;
+            break;
+        }
+    }
+    centroids.push_back(points[first]);
+
+    std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+    while (centroids.size() < k) {
+        double dist_sum = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            min_dist[i] = std::min(min_dist[i],
+                                   squaredDistance(points[i],
+                                                   centroids.back()));
+            dist_sum += min_dist[i] * weights[i];
+        }
+        if (dist_sum <= 0.0) {
+            // All remaining points coincide with a centroid; duplicate.
+            centroids.push_back(points[first]);
+            continue;
+        }
+        double target = rng.nextDouble() * dist_sum;
+        size_t chosen = n - 1;
+        for (size_t i = 0; i < n; ++i) {
+            target -= min_dist[i] * weights[i];
+            if (target <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(points[chosen]);
+    }
+    return centroids;
+}
+
+/** One full Lloyd run; returns the result for these initial centroids. */
+KMeansResult
+lloyd(const std::vector<std::vector<double>> &points,
+      const std::vector<double> &weights,
+      std::vector<std::vector<double>> centroids, unsigned max_iterations)
+{
+    const size_t n = points.size();
+    const unsigned k = static_cast<unsigned>(centroids.size());
+    const size_t dim = points[0].size();
+
+    std::vector<unsigned> assignment(n, 0);
+
+    for (unsigned iter = 0; iter < max_iterations; ++iter) {
+        bool changed = false;
+        for (size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::max();
+            unsigned best_c = 0;
+            for (unsigned c = 0; c < k; ++c) {
+                const double d = squaredDistance(points[i], centroids[c]);
+                if (d < best) {
+                    best = d;
+                    best_c = c;
+                }
+            }
+            if (assignment[i] != best_c) {
+                assignment[i] = best_c;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+
+        // Recompute weighted centroids.
+        std::vector<double> cluster_weight(k, 0.0);
+        for (auto &centroid : centroids)
+            std::fill(centroid.begin(), centroid.end(), 0.0);
+        for (size_t i = 0; i < n; ++i) {
+            const unsigned c = assignment[i];
+            cluster_weight[c] += weights[i];
+            for (size_t d = 0; d < dim; ++d)
+                centroids[c][d] += weights[i] * points[i][d];
+        }
+        for (unsigned c = 0; c < k; ++c) {
+            if (cluster_weight[c] > 0.0) {
+                for (size_t d = 0; d < dim; ++d)
+                    centroids[c][d] /= cluster_weight[c];
+            } else {
+                // Empty cluster: reseed to the point farthest from its
+                // centroid.
+                double worst = -1.0;
+                size_t worst_i = 0;
+                for (size_t i = 0; i < n; ++i) {
+                    const double d = squaredDistance(
+                        points[i], centroids[assignment[i]]);
+                    if (d > worst) {
+                        worst = d;
+                        worst_i = i;
+                    }
+                }
+                centroids[c] = points[worst_i];
+            }
+        }
+    }
+
+    KMeansResult result;
+    result.k = k;
+    result.assignment = std::move(assignment);
+    result.weightedSse = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        result.weightedSse += weights[i] *
+            squaredDistance(points[i], centroids[result.assignment[i]]);
+    }
+    result.centroids = std::move(centroids);
+    return result;
+}
+
+} // namespace
+
+KMeansResult
+kmeansCluster(const std::vector<std::vector<double>> &points,
+              const std::vector<double> &weights, unsigned k, uint64_t seed,
+              unsigned max_iterations, unsigned restarts)
+{
+    BP_ASSERT(!points.empty(), "k-means requires points");
+    BP_ASSERT(points.size() == weights.size(), "weights/points mismatch");
+    BP_ASSERT(k >= 1 && k <= points.size(), "k out of range");
+
+    KMeansResult best;
+    best.weightedSse = std::numeric_limits<double>::max();
+    for (unsigned r = 0; r < std::max(1u, restarts); ++r) {
+        Rng rng(hashMix(seed + r * 0x9E37u + k));
+        KMeansResult candidate =
+            lloyd(points, weights, seedCentroids(points, weights, k, rng),
+                  max_iterations);
+        if (candidate.weightedSse < best.weightedSse)
+            best = std::move(candidate);
+    }
+    return best;
+}
+
+double
+bicScore(const std::vector<std::vector<double>> &points,
+         const std::vector<double> &weights, const KMeansResult &result)
+{
+    const size_t n_points = points.size();
+    const double dim = static_cast<double>(points[0].size());
+    const unsigned k = result.k;
+
+    // Normalize weights to behave like n_points effective samples.
+    double total_weight = 0.0;
+    for (const double w : weights)
+        total_weight += w;
+    BP_ASSERT(total_weight > 0.0, "BIC requires positive total weight");
+    const double n = static_cast<double>(n_points);
+    const double weight_scale = n / total_weight;
+
+    std::vector<double> cluster_n(k, 0.0);
+    double sse = 0.0;
+    for (size_t i = 0; i < n_points; ++i) {
+        const double w = weights[i] * weight_scale;
+        cluster_n[result.assignment[i]] += w;
+        sse += w * squaredDistance(points[i],
+                                   result.centroids[result.assignment[i]]);
+    }
+
+    const double denom = std::max(1.0, n - static_cast<double>(k));
+    const double sigma2 = std::max(sse / (dim * denom), 1e-12);
+
+    double log_likelihood = 0.0;
+    for (unsigned c = 0; c < k; ++c) {
+        if (cluster_n[c] <= 0.0)
+            continue;
+        log_likelihood += cluster_n[c] * std::log(cluster_n[c] / n);
+    }
+    log_likelihood -= n * dim / 2.0 * std::log(2.0 * M_PI * sigma2);
+    log_likelihood -= dim * (n - k) / 2.0;
+
+    const double params = static_cast<double>(k) * (dim + 1.0);
+    return log_likelihood - params / 2.0 * std::log(n);
+}
+
+ClusteringResult
+clusterSignatures(const std::vector<std::vector<double>> &points,
+                  const std::vector<double> &weights,
+                  const ClusteringConfig &config)
+{
+    BP_ASSERT(!points.empty(), "clustering requires points");
+    const unsigned max_k =
+        std::min<unsigned>(config.maxK,
+                           static_cast<unsigned>(points.size()));
+
+    std::vector<KMeansResult> by_k;
+    ClusteringResult out;
+    by_k.reserve(max_k);
+    for (unsigned k = 1; k <= max_k; ++k) {
+        by_k.push_back(kmeansCluster(points, weights, k, config.seed,
+                                     config.maxIterations,
+                                     config.restarts));
+        out.bicByK.push_back(bicScore(points, weights, by_k.back()));
+    }
+
+    // SimPoint rule: smallest k whose BIC reaches bicThreshold of the
+    // observed score range.
+    const double lo = *std::min_element(out.bicByK.begin(),
+                                        out.bicByK.end());
+    const double hi = *std::max_element(out.bicByK.begin(),
+                                        out.bicByK.end());
+    const double range = hi - lo;
+    unsigned chosen = max_k;
+    for (unsigned k = 1; k <= max_k; ++k) {
+        const double score = out.bicByK[k - 1];
+        if (range <= 0.0 || (score - lo) >= config.bicThreshold * range) {
+            chosen = k;
+            break;
+        }
+    }
+    out.best = std::move(by_k[chosen - 1]);
+    return out;
+}
+
+} // namespace bp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Weighted k-means clustering with BIC model selection.
+ *
+ * Re-implements the clustering stage of SimPoint 3.2 for
+ * variable-length intervals: points are weighted by their region's
+ * aggregate instruction count, k is swept from 1 to maxK, and the
+ * chosen k is the smallest whose BIC score reaches a fixed fraction
+ * of the observed BIC range (SimPoint's selection rule).
+ */
+
+#ifndef BP_CORE_KMEANS_H
+#define BP_CORE_KMEANS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bp {
+
+/** Parameters of the clustering stage (the paper's Table II). */
+struct ClusteringConfig
+{
+    unsigned dim = 15;           ///< projected dimensions (-dim)
+    unsigned maxK = 20;          ///< maximum clusters (-maxK)
+    double coveragePct = 1.0;    ///< fraction of weight to cover
+    unsigned restarts = 5;       ///< k-means restarts per k
+    unsigned maxIterations = 100;
+    double bicThreshold = 0.9;   ///< fraction of the BIC range
+    uint64_t seed = 127;         ///< projection and k-means seed
+};
+
+/** Result of one weighted k-means run. */
+struct KMeansResult
+{
+    unsigned k = 0;
+    std::vector<unsigned> assignment;            ///< point -> cluster
+    std::vector<std::vector<double>> centroids;  ///< k x dim
+    double weightedSse = 0.0;
+};
+
+/**
+ * Weighted k-means (k-means++ seeding, Lloyd iterations).
+ *
+ * @param points  n points of equal dimension
+ * @param weights n non-negative weights
+ * @param k       number of clusters (1 <= k <= n)
+ * @param seed    deterministic seeding
+ */
+KMeansResult kmeansCluster(const std::vector<std::vector<double>> &points,
+                           const std::vector<double> &weights, unsigned k,
+                           uint64_t seed, unsigned max_iterations = 100,
+                           unsigned restarts = 5);
+
+/**
+ * Bayesian Information Criterion of a clustering (x-means style,
+ * spherical Gaussians, weights as effective counts). Larger is
+ * better.
+ */
+double bicScore(const std::vector<std::vector<double>> &points,
+                const std::vector<double> &weights,
+                const KMeansResult &result);
+
+/** Outcome of the k sweep. */
+struct ClusteringResult
+{
+    KMeansResult best;
+    std::vector<double> bicByK;  ///< index k-1 -> BIC score
+};
+
+/** Sweep k = 1..maxK and pick per the SimPoint BIC-threshold rule. */
+ClusteringResult clusterSignatures(
+    const std::vector<std::vector<double>> &points,
+    const std::vector<double> &weights, const ClusteringConfig &config);
+
+} // namespace bp
+
+#endif // BP_CORE_KMEANS_H

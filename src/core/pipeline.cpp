@@ -1,0 +1,194 @@
+#include "src/core/pipeline.h"
+
+#include <algorithm>
+
+#include "src/profile/mru_tracker.h"
+#include "src/support/logging.h"
+
+namespace bp {
+
+std::vector<RegionProfile>
+profileWorkload(const Workload &workload)
+{
+    RegionProfiler profiler(workload.threadCount());
+    std::vector<RegionProfile> profiles;
+    profiles.reserve(workload.regionCount());
+    for (unsigned r = 0; r < workload.regionCount(); ++r)
+        profiles.push_back(profiler.profileRegion(workload.generateRegion(r)));
+    return profiles;
+}
+
+std::vector<std::vector<double>>
+projectProfiles(const std::vector<RegionProfile> &profiles,
+                const SignatureConfig &signature,
+                const ClusteringConfig &clustering)
+{
+    std::vector<std::vector<double>> points;
+    points.reserve(profiles.size());
+    for (const auto &profile : profiles) {
+        points.push_back(projectSignature(buildSignature(profile, signature),
+                                          clustering.dim,
+                                          clustering.seed));
+    }
+    return points;
+}
+
+BarrierPointAnalysis
+analyzeProfiles(const std::vector<RegionProfile> &profiles,
+                const BarrierPointOptions &options)
+{
+    BP_ASSERT(!profiles.empty(), "no profiles to analyze");
+
+    const auto points =
+        projectProfiles(profiles, options.signature, options.clustering);
+
+    std::vector<uint64_t> instructions;
+    std::vector<double> weights;
+    instructions.reserve(profiles.size());
+    weights.reserve(profiles.size());
+    for (const auto &profile : profiles) {
+        instructions.push_back(profile.instructions());
+        weights.push_back(static_cast<double>(profile.instructions()));
+    }
+
+    const ClusteringResult clustering =
+        clusterSignatures(points, weights, options.clustering);
+    return selectBarrierPoints(clustering, points, instructions,
+                               options.significance);
+}
+
+BarrierPointAnalysis
+analyzeWorkload(const Workload &workload, const BarrierPointOptions &options)
+{
+    return analyzeProfiles(profileWorkload(workload), options);
+}
+
+RunResult
+runReference(const Workload &workload, const MachineConfig &machine)
+{
+    return simulateFullRun(machine, workload.regionCount(),
+                           [&](unsigned r) {
+                               return workload.generateRegion(r);
+                           });
+}
+
+std::vector<std::vector<std::vector<MruEntry>>>
+captureMruSnapshots(const Workload &workload,
+                    const std::vector<uint32_t> &regions,
+                    uint64_t capacity_lines, uint64_t private_lines)
+{
+    BP_ASSERT(capacity_lines > 0, "MRU capacity must be positive");
+
+    std::vector<std::vector<std::vector<MruEntry>>> snapshots(
+        regions.size());
+    if (regions.empty())
+        return snapshots;
+
+    const uint32_t last =
+        *std::max_element(regions.begin(), regions.end());
+    const unsigned threads = workload.threadCount();
+
+    std::vector<MruTracker> trackers;
+    trackers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        trackers.emplace_back(capacity_lines, private_lines);
+
+    // Coherence-aware capture: a write invalidates other cores'
+    // retained copies; a read of another core's dirty line downgrades
+    // it (its dirty data migrates to the LLC). Tracked with a holder
+    // mask and last-writer per line.
+    struct LineCoherence
+    {
+        uint32_t holders = 0;
+        int8_t writer = -1;
+    };
+    std::unordered_map<uint64_t, LineCoherence> coherence;
+
+    // Only lines plausibly still resident in the shared LLC replay a
+    // dirty LLC copy; per core that is roughly an equal share.
+    const uint64_t llc_dirty_window =
+        std::max<uint64_t>(1, capacity_lines / threads);
+
+    const auto snapshot_all = [&]() {
+        std::vector<std::vector<MruEntry>> per_core;
+        per_core.reserve(threads);
+        for (const auto &tracker : trackers)
+            per_core.push_back(tracker.snapshot(llc_dirty_window));
+        return per_core;
+    };
+
+    for (uint32_t r = 0; r <= last; ++r) {
+        // Snapshot *before* region r runs: this is the state a
+        // checkpoint taken at barrier r would capture.
+        for (size_t i = 0; i < regions.size(); ++i) {
+            if (regions[i] == r)
+                snapshots[i] = snapshot_all();
+        }
+        if (r == last)
+            break;
+        const RegionTrace trace = workload.generateRegion(r);
+        for (unsigned t = 0; t < threads; ++t) {
+            for (const MicroOp &op : trace.thread(t)) {
+                if (!op.isMem())
+                    continue;
+                const uint64_t line = lineOf(op.addr);
+                const bool write = op.kind == OpKind::Store;
+                LineCoherence &lc = coherence[line];
+                if (write) {
+                    uint32_t others = lc.holders & ~(1u << t);
+                    while (others) {
+                        const unsigned other = static_cast<unsigned>(
+                            std::countr_zero(others));
+                        others &= others - 1;
+                        trackers[other].invalidateLine(line);
+                    }
+                    lc.holders = 1u << t;
+                    lc.writer = static_cast<int8_t>(t);
+                } else {
+                    if (lc.writer >= 0 &&
+                        lc.writer != static_cast<int8_t>(t)) {
+                        trackers[lc.writer].downgradeLine(line);
+                        lc.writer = -1;
+                    }
+                    lc.holders |= 1u << t;
+                }
+                trackers[t].access(line, write);
+            }
+        }
+    }
+    return snapshots;
+}
+
+std::vector<RegionStats>
+simulateBarrierPoints(const Workload &workload, const MachineConfig &machine,
+                      const BarrierPointAnalysis &analysis,
+                      WarmupPolicy policy)
+{
+    std::vector<std::vector<std::vector<MruEntry>>> snapshots;
+    if (policy == WarmupPolicy::MruReplay) {
+        std::vector<uint32_t> regions;
+        regions.reserve(analysis.points.size());
+        for (const auto &point : analysis.points)
+            regions.push_back(point.region);
+        const uint64_t capacity_lines = machine.mem.l3.numLines() *
+            machine.mem.numSockets();
+        snapshots = captureMruSnapshots(workload, regions, capacity_lines,
+                                        machine.mem.l2.numLines());
+    }
+
+    std::vector<RegionStats> stats;
+    stats.reserve(analysis.points.size());
+    for (size_t j = 0; j < analysis.points.size(); ++j) {
+        MultiCoreSim sim(machine);
+        const RegionTrace trace =
+            workload.generateRegion(analysis.points[j].region);
+        if (policy == WarmupPolicy::MruReplay) {
+            sim.warmupReplay(snapshots[j]);
+            sim.trainPredictors(trace);
+        }
+        stats.push_back(sim.simulateRegion(trace));
+    }
+    return stats;
+}
+
+} // namespace bp

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * End-to-end BarrierPoint pipeline (Figure 2 of the paper).
+ *
+ * One-time, microarchitecture-independent costs:
+ *   profileWorkload()  -> per-region BBV/LDV profiles
+ *   analyzeProfiles()  -> signatures, clustering, barrierpoints
+ *   captureMruSnapshots() -> warmup data at barrierpoint entries
+ *
+ * Per-simulation costs:
+ *   runReference()          -> detailed simulation of every region
+ *   simulateBarrierPoints() -> detailed simulation of only the
+ *                              barrierpoints (cold or MRU-warmed)
+ *
+ * reconstruction.h turns barrierpoint stats into whole-program
+ * estimates.
+ */
+
+#ifndef BP_CORE_PIPELINE_H
+#define BP_CORE_PIPELINE_H
+
+#include <vector>
+
+#include "src/core/reconstruction.h"
+#include "src/core/selection.h"
+#include "src/core/signature.h"
+#include "src/profile/region_profiler.h"
+#include "src/sim/multicore_sim.h"
+#include "src/workloads/workload.h"
+
+namespace bp {
+
+/** All knobs of the one-time analysis. */
+struct BarrierPointOptions
+{
+    SignatureConfig signature;
+    ClusteringConfig clustering;
+    double significance = 0.001;  ///< Table III's 0.1 % threshold
+};
+
+/** Profile every region of @p workload, in execution order. */
+std::vector<RegionProfile> profileWorkload(const Workload &workload);
+
+/** Build and project signatures for a set of region profiles. */
+std::vector<std::vector<double>> projectProfiles(
+    const std::vector<RegionProfile> &profiles,
+    const SignatureConfig &signature, const ClusteringConfig &clustering);
+
+/**
+ * Run the full analysis on existing profiles (lets callers sweep
+ * signature/clustering settings without re-profiling).
+ */
+BarrierPointAnalysis analyzeProfiles(
+    const std::vector<RegionProfile> &profiles,
+    const BarrierPointOptions &options = {});
+
+/** Convenience: profile + analyze in one call. */
+BarrierPointAnalysis analyzeWorkload(const Workload &workload,
+                                     const BarrierPointOptions &options = {});
+
+/** Detailed simulation of the complete application (the reference). */
+RunResult runReference(const Workload &workload,
+                       const MachineConfig &machine);
+
+/** How to initialize microarchitectural state for a barrierpoint. */
+enum class WarmupPolicy {
+    Cold,       ///< no warmup: caches start empty
+    MruReplay,  ///< replay each core's MRU lines (the paper's method)
+};
+
+/**
+ * Capture per-core MRU snapshots at the start of each listed region.
+ *
+ * @param workload        the application
+ * @param regions         region indices wanting warmup data (sorted
+ *                        or not; duplicates fine)
+ * @param capacity_lines  per-core tracker capacity; the paper uses
+ *                        the largest shared-LLC capacity simulated
+ * @param private_lines   private-cache capacity for the dirtiness
+ *                        filter (see MruTracker)
+ * @return one snapshot (per-core entry lists, LRU->MRU) per requested
+ *         region, keyed by position in @p regions
+ */
+std::vector<std::vector<std::vector<MruEntry>>> captureMruSnapshots(
+    const Workload &workload, const std::vector<uint32_t> &regions,
+    uint64_t capacity_lines, uint64_t private_lines = 4096);
+
+/**
+ * Simulate every barrierpoint in isolation on @p machine.
+ *
+ * Each barrierpoint gets a fresh machine; with WarmupPolicy::MruReplay
+ * the caches are first reconstructed from profiling-time MRU data.
+ *
+ * @return stats indexed like analysis.points
+ */
+std::vector<RegionStats> simulateBarrierPoints(
+    const Workload &workload, const MachineConfig &machine,
+    const BarrierPointAnalysis &analysis, WarmupPolicy policy);
+
+} // namespace bp
+
+#endif // BP_CORE_PIPELINE_H

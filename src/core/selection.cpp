@@ -1,0 +1,162 @@
+#include "src/core/selection.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/core/signature.h"
+#include "src/support/logging.h"
+
+namespace bp {
+
+uint64_t
+BarrierPointAnalysis::totalInstructions() const
+{
+    uint64_t total = 0;
+    for (const uint64_t count : regionInstructions)
+        total += count;
+    return total;
+}
+
+unsigned
+BarrierPointAnalysis::numRegions() const
+{
+    return static_cast<unsigned>(regionInstructions.size());
+}
+
+unsigned
+BarrierPointAnalysis::numSignificant() const
+{
+    unsigned count = 0;
+    for (const auto &point : points)
+        count += point.significant ? 1 : 0;
+    return count;
+}
+
+double
+BarrierPointAnalysis::serialSpeedup() const
+{
+    uint64_t simulated = 0;
+    for (const auto &point : points) {
+        if (point.significant)
+            simulated += point.instructions;
+    }
+    if (simulated == 0)
+        return 1.0;
+    return static_cast<double>(totalInstructions()) /
+        static_cast<double>(simulated);
+}
+
+double
+BarrierPointAnalysis::parallelSpeedup() const
+{
+    uint64_t largest = 0;
+    for (const auto &point : points) {
+        if (point.significant)
+            largest = std::max(largest, point.instructions);
+    }
+    if (largest == 0)
+        return 1.0;
+    return static_cast<double>(totalInstructions()) /
+        static_cast<double>(largest);
+}
+
+double
+BarrierPointAnalysis::resourceReduction() const
+{
+    const unsigned significant = numSignificant();
+    if (significant == 0)
+        return 1.0;
+    return static_cast<double>(numRegions()) /
+        static_cast<double>(significant);
+}
+
+BarrierPointAnalysis
+selectBarrierPoints(const ClusteringResult &clustering,
+                    const std::vector<std::vector<double>> &points,
+                    const std::vector<uint64_t> &region_instructions,
+                    double significance)
+{
+    const KMeansResult &km = clustering.best;
+    const size_t n = points.size();
+    BP_ASSERT(km.assignment.size() == n &&
+                  region_instructions.size() == n,
+              "clustering/points/instruction-count size mismatch");
+
+    BarrierPointAnalysis analysis;
+    analysis.regionInstructions = region_instructions;
+    analysis.bicByK = clustering.bicByK;
+    analysis.chosenK = km.k;
+
+    uint64_t total_instructions = 0;
+    for (const uint64_t count : region_instructions)
+        total_instructions += count;
+
+    // Per cluster: find the minimum centroid distance and the
+    // aggregate instruction count.
+    std::vector<double> best_dist(km.k,
+                                  std::numeric_limits<double>::max());
+    std::vector<uint64_t> cluster_instructions(km.k, 0);
+    for (size_t i = 0; i < n; ++i) {
+        const unsigned c = km.assignment[i];
+        cluster_instructions[c] += region_instructions[i];
+        best_dist[c] = std::min(best_dist[c],
+                                squaredDistance(points[i],
+                                                km.centroids[c]));
+    }
+
+    // The representative is the region closest to the centroid. Many
+    // regions of a repetitive phase project to (nearly) identical
+    // points; among such near-ties we pick the median occurrence so
+    // the representative reflects steady-state behaviour rather than
+    // a cold-start transient at the front of the cluster.
+    std::vector<std::vector<uint32_t>> candidates(km.k);
+    for (size_t i = 0; i < n; ++i) {
+        const unsigned c = km.assignment[i];
+        const double dist = squaredDistance(points[i], km.centroids[c]);
+        if (dist <= best_dist[c] + 1e-9 * (1.0 + best_dist[c]))
+            candidates[c].push_back(static_cast<uint32_t>(i));
+    }
+    std::vector<uint32_t> representative(km.k, 0);
+    for (unsigned c = 0; c < km.k; ++c) {
+        if (!candidates[c].empty())
+            representative[c] = candidates[c][candidates[c].size() / 2];
+    }
+
+    // Emit barrierpoints ordered by region index.
+    std::vector<unsigned> cluster_order(km.k);
+    for (unsigned c = 0; c < km.k; ++c)
+        cluster_order[c] = c;
+    std::sort(cluster_order.begin(), cluster_order.end(),
+              [&](unsigned a, unsigned b) {
+                  return representative[a] < representative[b];
+              });
+
+    std::vector<unsigned> cluster_to_point(km.k, 0);
+    for (const unsigned c : cluster_order) {
+        if (cluster_instructions[c] == 0)
+            continue;  // empty cluster: nothing to represent
+        BarrierPoint point;
+        point.region = representative[c];
+        point.cluster = c;
+        point.instructions = region_instructions[point.region];
+        point.multiplier = point.instructions > 0
+            ? static_cast<double>(cluster_instructions[c]) /
+                static_cast<double>(point.instructions)
+            : 0.0;
+        point.weightFraction = total_instructions > 0
+            ? static_cast<double>(cluster_instructions[c]) /
+                static_cast<double>(total_instructions)
+            : 0.0;
+        point.significant = point.weightFraction >= significance;
+        cluster_to_point[c] = static_cast<unsigned>(analysis.points.size());
+        analysis.points.push_back(point);
+    }
+
+    analysis.regionToPoint.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        analysis.regionToPoint[i] = cluster_to_point[km.assignment[i]];
+
+    return analysis;
+}
+
+} // namespace bp

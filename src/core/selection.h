@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Barrierpoint selection: representatives and multipliers.
+ *
+ * After clustering, one region per cluster — the one closest to the
+ * cluster centroid — becomes the barrierpoint. Its multiplier is the
+ * ratio of the cluster's aggregate instruction count to the
+ * barrierpoint's own instruction count (Section III-D), so that
+ * concatenating scaled barrierpoints reconstructs the whole program.
+ * Barrierpoints contributing less than a significance threshold of
+ * total instructions are reported as insignificant (Table III).
+ */
+
+#ifndef BP_CORE_SELECTION_H
+#define BP_CORE_SELECTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/kmeans.h"
+
+namespace bp {
+
+/** One selected representative region. */
+struct BarrierPoint
+{
+    uint32_t region = 0;         ///< region index of the representative
+    unsigned cluster = 0;        ///< cluster it represents
+    double multiplier = 0.0;     ///< instruction-count scaling factor
+    double weightFraction = 0.0; ///< cluster share of total instructions
+    uint64_t instructions = 0;   ///< the barrierpoint's own length
+    bool significant = true;     ///< weightFraction >= threshold
+};
+
+/** Complete output of the one-time BarrierPoint analysis. */
+struct BarrierPointAnalysis
+{
+    std::vector<BarrierPoint> points;        ///< sorted by region index
+    std::vector<unsigned> regionToPoint;     ///< region -> index in points
+    std::vector<uint64_t> regionInstructions;
+    std::vector<double> bicByK;
+    unsigned chosenK = 0;
+
+    uint64_t totalInstructions() const;
+    unsigned numRegions() const;
+    unsigned numSignificant() const;
+
+    /**
+     * Simulation speedup running barrierpoints back to back versus
+     * simulating every region — the reduction in total simulation
+     * work (and hence machine resources for a fixed time budget).
+     */
+    double serialSpeedup() const;
+
+    /**
+     * Simulation speedup when all barrierpoints run in parallel:
+     * total instruction count over the largest single barrierpoint.
+     */
+    double parallelSpeedup() const;
+
+    /**
+     * Machines needed to simulate every inter-barrier region in
+     * parallel versus only the barrierpoints (the paper's 78x).
+     */
+    double resourceReduction() const;
+};
+
+/**
+ * Pick representatives and compute multipliers.
+ *
+ * @param clustering           assignment of regions to clusters
+ * @param points               projected signatures (for proximity)
+ * @param region_instructions  per-region aggregate instruction count
+ * @param significance         weight fraction below which a
+ *                             barrierpoint is insignificant
+ */
+BarrierPointAnalysis selectBarrierPoints(
+    const ClusteringResult &clustering,
+    const std::vector<std::vector<double>> &points,
+    const std::vector<uint64_t> &region_instructions,
+    double significance = 0.001);
+
+} // namespace bp
+
+#endif // BP_CORE_SELECTION_H

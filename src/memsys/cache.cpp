@@ -1,0 +1,147 @@
+#include "src/memsys/cache.h"
+
+#include <bit>
+
+#include "src/support/logging.h"
+#include "src/trace/micro_op.h"
+
+namespace bp {
+
+uint64_t
+CacheGeometry::numLines() const
+{
+    return sizeBytes / kLineBytes;
+}
+
+uint64_t
+CacheGeometry::numSets() const
+{
+    return numLines() / assoc;
+}
+
+SetAssocCache::SetAssocCache(const CacheGeometry &geometry)
+    : geometry_(geometry),
+      numSets_(geometry.numSets()),
+      assoc_(geometry.assoc),
+      ways_(numSets_ * geometry.assoc),
+      clock_(numSets_, 0)
+{
+    BP_ASSERT(numSets_ > 0 && std::has_single_bit(numSets_),
+              "cache set count must be a positive power of two");
+    BP_ASSERT(assoc_ > 0, "associativity must be positive");
+}
+
+size_t
+SetAssocCache::setBase(uint64_t line) const
+{
+    return static_cast<size_t>(line & (numSets_ - 1)) * assoc_;
+}
+
+int
+SetAssocCache::lookup(uint64_t line) const
+{
+    const size_t base = setBase(line);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const Way &way = ways_[base + w];
+        if (way.state != LineState::Invalid && way.tag == line)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+void
+SetAssocCache::touch(uint64_t line, int way)
+{
+    const size_t base = setBase(line);
+    const size_t set = base / assoc_;
+    ways_[base + way].lru = ++clock_[set];
+}
+
+LineState
+SetAssocCache::state(uint64_t line) const
+{
+    const int way = lookup(line);
+    if (way < 0)
+        return LineState::Invalid;
+    return ways_[setBase(line) + way].state;
+}
+
+void
+SetAssocCache::setState(uint64_t line, LineState state)
+{
+    const int way = lookup(line);
+    BP_ASSERT(way >= 0, "setState on a non-resident line");
+    ways_[setBase(line) + way].state = state;
+}
+
+std::optional<Eviction>
+SetAssocCache::insert(uint64_t line, LineState state)
+{
+    const size_t base = setBase(line);
+    const size_t set = base / assoc_;
+
+    // Re-insert over an existing copy if present.
+    int victim = lookup(line);
+    std::optional<Eviction> evicted;
+
+    if (victim < 0) {
+        // Prefer an invalid way; otherwise evict true-LRU.
+        uint32_t best_lru = UINT32_MAX;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            const Way &way = ways_[base + w];
+            if (way.state == LineState::Invalid) {
+                victim = static_cast<int>(w);
+                break;
+            }
+            if (way.lru < best_lru) {
+                best_lru = way.lru;
+                victim = static_cast<int>(w);
+            }
+        }
+        Way &way = ways_[base + victim];
+        if (way.state != LineState::Invalid) {
+            evicted = Eviction{way.tag,
+                               way.state == LineState::Modified};
+        }
+    }
+
+    Way &way = ways_[base + victim];
+    way.tag = line;
+    way.state = state;
+    way.lru = ++clock_[set];
+    return evicted;
+}
+
+LineState
+SetAssocCache::invalidate(uint64_t line)
+{
+    const int way = lookup(line);
+    if (way < 0)
+        return LineState::Invalid;
+    Way &entry = ways_[setBase(line) + way];
+    const LineState prior = entry.state;
+    entry.state = LineState::Invalid;
+    return prior;
+}
+
+void
+SetAssocCache::reset()
+{
+    for (auto &way : ways_)
+        way = Way();
+    for (auto &c : clock_)
+        c = 0;
+}
+
+uint64_t
+SetAssocCache::occupancy() const
+{
+    uint64_t count = 0;
+    for (const auto &way : ways_) {
+        if (way.state != LineState::Invalid)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace bp

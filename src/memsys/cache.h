@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Set-associative cache with LRU replacement and MSI line states.
+ *
+ * The cache stores line indices (byte address >> 6), not byte
+ * addresses. It is a passive tag store: coherence decisions are made
+ * by MemSystem, which calls lookup/insert/invalidate/setState.
+ */
+
+#ifndef BP_MEMSYS_CACHE_H
+#define BP_MEMSYS_CACHE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace bp {
+
+/** MSI coherence state of a cached line. */
+enum class LineState : uint8_t {
+    Invalid,
+    Shared,    ///< clean, potentially multiple holders
+    Modified,  ///< writable and dirty, single holder
+};
+
+/** Geometry and access latency of one cache level. */
+struct CacheGeometry
+{
+    uint64_t sizeBytes;
+    unsigned assoc;
+    unsigned latency;       ///< access time in core cycles
+
+    uint64_t numLines() const;
+    uint64_t numSets() const;
+};
+
+/** Result of an eviction: the victim line and whether it was dirty. */
+struct Eviction
+{
+    uint64_t line;
+    bool dirty;
+};
+
+/**
+ * A single set-associative cache array with true-LRU replacement.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheGeometry &geometry);
+
+    /** @return way index of @p line, or -1 on miss. Does not touch LRU. */
+    int lookup(uint64_t line) const;
+
+    /** @return true when @p line is present. */
+    bool contains(uint64_t line) const { return lookup(line) >= 0; }
+
+    /** Update LRU so @p way in the set of @p line is most recent. */
+    void touch(uint64_t line, int way);
+
+    /** @return coherence state of @p line (Invalid when absent). */
+    LineState state(uint64_t line) const;
+
+    /** Set the coherence state of a resident line. */
+    void setState(uint64_t line, LineState state);
+
+    /**
+     * Insert @p line in state @p state, evicting the LRU victim of the
+     * set when it is full.
+     *
+     * @return the eviction performed, if any.
+     */
+    std::optional<Eviction> insert(uint64_t line, LineState state);
+
+    /**
+     * Remove @p line from the cache.
+     *
+     * @return the line's state prior to invalidation.
+     */
+    LineState invalidate(uint64_t line);
+
+    /** Drop all contents (cold cache). */
+    void reset();
+
+    /** @return number of valid lines currently resident. */
+    uint64_t occupancy() const;
+
+    const CacheGeometry &geometry() const { return geometry_; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        uint32_t lru = 0;
+        LineState state = LineState::Invalid;
+    };
+
+    size_t setBase(uint64_t line) const;
+
+    CacheGeometry geometry_;
+    uint64_t numSets_;
+    unsigned assoc_;
+    std::vector<Way> ways_;       ///< numSets_ * assoc_, set-major
+    std::vector<uint32_t> clock_; ///< per-set LRU clock
+};
+
+} // namespace bp
+
+#endif // BP_MEMSYS_CACHE_H

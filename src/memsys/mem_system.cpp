@@ -1,0 +1,463 @@
+#include "src/memsys/mem_system.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+#include "src/trace/micro_op.h"
+
+namespace bp {
+
+namespace {
+inline uint32_t
+bit(unsigned index)
+{
+    return 1u << index;
+}
+} // namespace
+
+const char *
+memLevelName(MemLevel level)
+{
+    switch (level) {
+      case MemLevel::L1: return "L1";
+      case MemLevel::L2: return "L2";
+      case MemLevel::L3: return "L3";
+      case MemLevel::RemoteCache: return "remote";
+      case MemLevel::Dram: return "dram";
+    }
+    return "?";
+}
+
+MemStats
+MemStats::delta(const MemStats &other) const
+{
+    MemStats d;
+    d.accesses = accesses - other.accesses;
+    d.l1Hits = l1Hits - other.l1Hits;
+    d.l2Hits = l2Hits - other.l2Hits;
+    d.l3Hits = l3Hits - other.l3Hits;
+    d.remoteHits = remoteHits - other.remoteHits;
+    d.dramReads = dramReads - other.dramReads;
+    d.dramWrites = dramWrites - other.dramWrites;
+    d.invalidations = invalidations - other.invalidations;
+    d.upgrades = upgrades - other.upgrades;
+    d.llcMisses = llcMisses - other.llcMisses;
+    return d;
+}
+
+MemSystem::MemSystem(const MemSystemConfig &config)
+    : config_(config)
+{
+    BP_ASSERT(config_.numCores >= 1 && config_.numCores <= 32,
+              "core count must be in [1, 32]");
+    BP_ASSERT(config_.coresPerSocket >= 1, "need at least one core/socket");
+    for (unsigned c = 0; c < config_.numCores; ++c) {
+        l1d_.emplace_back(config_.l1d);
+        l2_.emplace_back(config_.l2);
+    }
+    for (unsigned s = 0; s < config_.numSockets(); ++s)
+        l3_.emplace_back(config_.l3);
+    dramFree_.assign(config_.numCores, 0.0);
+    dramShare_.assign(config_.numSockets(), config_.dramTransferCycles);
+}
+
+unsigned
+MemSystem::socketOf(unsigned core) const
+{
+    return core / config_.coresPerSocket;
+}
+
+MemSystem::DirEntry &
+MemSystem::dirEntry(uint64_t line)
+{
+    return dir_[line];
+}
+
+MemSystem::DirEntry *
+MemSystem::findDir(uint64_t line)
+{
+    auto it = dir_.find(line);
+    return it == dir_.end() ? nullptr : &it->second;
+}
+
+void
+MemSystem::maybeEraseDir(uint64_t line)
+{
+    auto it = dir_.find(line);
+    if (it != dir_.end() && it->second.coreMask == 0 &&
+        it->second.socketMask == 0 && it->second.owner < 0) {
+        dir_.erase(it);
+    }
+}
+
+double
+MemSystem::dramAccess(unsigned core, double now, bool is_read)
+{
+    if (functional_)
+        return 0.0;
+    if (!is_read) {
+        // Writebacks are buffered off the critical path by the memory
+        // controller: they are counted (APKI) but charge no latency
+        // and no channel occupancy to the evicting core.
+        ++stats_.dramWrites;
+        return 0.0;
+    }
+    ++stats_.dramReads;
+    // Per-core slice of the socket channel: each transfer occupies
+    // (transfer time x active cores) on this core's private view of
+    // the channel, so aggregate throughput matches the socket's
+    // bandwidth while timing stays consistent with local clocks.
+    const double start = std::max(now, dramFree_[core]);
+    dramFree_[core] = start + dramShare_[socketOf(core)];
+    return config_.dramLatency + (start - now);
+}
+
+bool
+MemSystem::invalidateCore(unsigned core, uint64_t line)
+{
+    const bool dirty_l1 = l1d_[core].invalidate(line) == LineState::Modified;
+    const bool dirty_l2 = l2_[core].invalidate(line) == LineState::Modified;
+    return dirty_l1 || dirty_l2;
+}
+
+void
+MemSystem::downgradeOwner(unsigned owner, uint64_t line, double now)
+{
+    if (l1d_[owner].contains(line))
+        l1d_[owner].setState(line, LineState::Shared);
+    if (l2_[owner].contains(line))
+        l2_[owner].setState(line, LineState::Shared);
+    // The dirty data moves into the owner socket's L3 (cache-to-cache
+    // forwarding); it reaches memory only on eventual L3 eviction.
+    const unsigned owner_socket = socketOf(owner);
+    if (l3_[owner_socket].contains(line))
+        l3_[owner_socket].setState(line, LineState::Modified);
+    else
+        dramAccess(owner, now, false);
+    DirEntry *entry = findDir(line);
+    if (entry)
+        entry->owner = -1;
+}
+
+bool
+MemSystem::invalidateSharers(unsigned requester, uint64_t line, double now)
+{
+    DirEntry *entry = findDir(line);
+    if (!entry)
+        return false;
+
+    const unsigned my_socket = socketOf(requester);
+    bool remote = false;
+
+    uint32_t mask = entry->coreMask & ~bit(requester);
+    while (mask) {
+        const unsigned core = static_cast<unsigned>(std::countr_zero(mask));
+        mask &= mask - 1;
+        // A dirty copy is forwarded to the requester (whose own copy
+        // becomes Modified and will be written back on eviction), so
+        // no memory traffic is generated here.
+        invalidateCore(core, line);
+        if (!functional_)
+            ++stats_.invalidations;
+        if (socketOf(core) != my_socket)
+            remote = true;
+        entry->coreMask &= ~bit(core);
+    }
+
+    uint32_t smask = entry->socketMask & ~bit(my_socket);
+    while (smask) {
+        const unsigned socket = static_cast<unsigned>(std::countr_zero(smask));
+        smask &= smask - 1;
+        const LineState prior = l3_[socket].invalidate(line);
+        if (prior == LineState::Modified)
+            dramAccess(socket * config_.coresPerSocket, now, false);
+        entry->socketMask &= ~bit(socket);
+        remote = true;
+    }
+
+    if (entry->owner >= 0 &&
+        static_cast<unsigned>(entry->owner) != requester) {
+        entry->owner = -1;
+    }
+    return remote;
+}
+
+void
+MemSystem::handleL3Eviction(unsigned socket, const Eviction &ev, double now)
+{
+    const uint64_t line = ev.line;
+    bool dirty = ev.dirty;
+
+    DirEntry *entry = findDir(line);
+    if (entry) {
+        uint32_t mask = entry->coreMask;
+        while (mask) {
+            const unsigned core =
+                static_cast<unsigned>(std::countr_zero(mask));
+            mask &= mask - 1;
+            if (socketOf(core) != socket)
+                continue;
+            dirty |= invalidateCore(core, line);
+            if (!functional_)
+                ++stats_.invalidations;
+            entry->coreMask &= ~bit(core);
+            if (entry->owner == static_cast<int8_t>(core))
+                entry->owner = -1;
+        }
+        entry->socketMask &= ~bit(socket);
+        maybeEraseDir(line);
+    }
+    if (dirty)
+        dramAccess(socket * config_.coresPerSocket, now, false);
+}
+
+void
+MemSystem::fillL2(unsigned core, uint64_t line, LineState state, double now)
+{
+    const auto ev = l2_[core].insert(line, state);
+    if (!ev)
+        return;
+
+    // Inclusion: the victim must leave this core's L1 as well.
+    const bool dirty_l1 =
+        l1d_[core].invalidate(ev->line) == LineState::Modified;
+    const bool dirty = ev->dirty || dirty_l1;
+    const unsigned socket = socketOf(core);
+
+    if (dirty) {
+        if (l3_[socket].contains(ev->line)) {
+            l3_[socket].setState(ev->line, LineState::Modified);
+        } else {
+            // L3 lost the line first (possible only transiently);
+            // write the data back to memory.
+            dramAccess(core, now, false);
+        }
+    }
+
+    DirEntry *entry = findDir(ev->line);
+    if (entry) {
+        entry->coreMask &= ~bit(core);
+        if (entry->owner == static_cast<int8_t>(core))
+            entry->owner = -1;
+        maybeEraseDir(ev->line);
+    }
+}
+
+void
+MemSystem::fillL1(unsigned core, uint64_t line, LineState state)
+{
+    const auto ev = l1d_[core].insert(line, state);
+    if (ev && ev->dirty) {
+        // The L2 is inclusive of the L1, so the victim must be there.
+        BP_ASSERT(l2_[core].contains(ev->line),
+                  "L1 victim missing from inclusive L2");
+        l2_[core].setState(ev->line, LineState::Modified);
+    }
+}
+
+AccessResult
+MemSystem::access(unsigned core, uint64_t addr, bool is_write, double now)
+{
+    BP_ASSERT(core < config_.numCores, "core id out of range");
+    const uint64_t line = lineOf(addr);
+    const unsigned socket = socketOf(core);
+    ++stats_.accesses;
+
+    // --- L1 ---
+    int way = l1d_[core].lookup(line);
+    if (way >= 0) {
+        l1d_[core].touch(line, way);
+        const LineState state = l1d_[core].state(line);
+        if (!is_write || state == LineState::Modified) {
+            ++stats_.l1Hits;
+            return {static_cast<double>(config_.l1d.latency), MemLevel::L1};
+        }
+        // Store to a Shared line: upgrade to Modified.
+        ++stats_.upgrades;
+        const bool remote = invalidateSharers(core, line, now);
+        l1d_[core].setState(line, LineState::Modified);
+        if (l2_[core].contains(line))
+            l2_[core].setState(line, LineState::Modified);
+        DirEntry &entry = dirEntry(line);
+        entry.coreMask |= bit(core);
+        entry.owner = static_cast<int8_t>(core);
+        ++stats_.l1Hits;
+        const double latency = config_.l1d.latency + config_.upgradeLatency +
+            (remote ? config_.remoteCacheLatency : 0.0);
+        return {latency, MemLevel::L1};
+    }
+
+    // --- L2 ---
+    way = l2_[core].lookup(line);
+    if (way >= 0) {
+        l2_[core].touch(line, way);
+        LineState state = l2_[core].state(line);
+        double extra = 0.0;
+        if (is_write && state != LineState::Modified) {
+            ++stats_.upgrades;
+            const bool remote = invalidateSharers(core, line, now);
+            l2_[core].setState(line, LineState::Modified);
+            state = LineState::Modified;
+            DirEntry &entry = dirEntry(line);
+            entry.coreMask |= bit(core);
+            entry.owner = static_cast<int8_t>(core);
+            extra = config_.upgradeLatency +
+                (remote ? config_.remoteCacheLatency : 0.0);
+        }
+        fillL1(core, line, state);
+        ++stats_.l2Hits;
+        return {config_.l2.latency + extra, MemLevel::L2};
+    }
+
+    // --- beyond the private levels ---
+    double extra = 0.0;
+    DirEntry *entry = findDir(line);
+
+    if (is_write) {
+        if (entry && ((entry->coreMask & ~bit(core)) || entry->owner >= 0 ||
+                      (entry->socketMask & ~bit(socket)))) {
+            const bool remote = invalidateSharers(core, line, now);
+            extra += config_.upgradeLatency +
+                (remote ? config_.remoteCacheLatency : 0.0);
+        }
+    } else if (entry && entry->owner >= 0 &&
+               static_cast<unsigned>(entry->owner) != core) {
+        downgradeOwner(static_cast<unsigned>(entry->owner), line, now);
+        extra += config_.dirtyForwardLatency;
+    }
+
+    // --- local L3 ---
+    double base_latency = 0.0;
+    MemLevel level;
+    const int way3 = l3_[socket].lookup(line);
+    if (way3 >= 0) {
+        l3_[socket].touch(line, way3);
+        ++stats_.l3Hits;
+        base_latency = config_.l3.latency;
+        level = MemLevel::L3;
+    } else {
+        ++stats_.llcMisses;
+        entry = findDir(line);
+        if (entry && (entry->socketMask & ~bit(socket))) {
+            ++stats_.remoteHits;
+            base_latency = config_.remoteCacheLatency;
+            level = MemLevel::RemoteCache;
+        } else {
+            base_latency = dramAccess(core, now, true);
+            level = MemLevel::Dram;
+        }
+        const auto ev = l3_[socket].insert(line, LineState::Shared);
+        if (ev)
+            handleL3Eviction(socket, *ev, now);
+    }
+
+    // --- fill the private levels ---
+    const LineState priv_state =
+        is_write ? LineState::Modified : LineState::Shared;
+    fillL2(core, line, priv_state, now);
+    fillL1(core, line, priv_state);
+
+    DirEntry &final_entry = dirEntry(line);
+    final_entry.coreMask |= bit(core);
+    final_entry.socketMask |= bit(socket);
+    if (is_write)
+        final_entry.owner = static_cast<int8_t>(core);
+
+    return {base_latency + extra, level};
+}
+
+void
+MemSystem::installFunctional(unsigned core, uint64_t line_addr,
+                             bool written, bool llc_dirty)
+{
+    functional_ = true;
+    const uint64_t line = line_addr;
+    const unsigned socket = socketOf(core);
+    const LineState state =
+        written ? LineState::Modified : LineState::Shared;
+
+    if (written)
+        invalidateSharers(core, line, 0.0);
+
+    if (!l1d_[core].contains(line)) {
+        if (!l3_[socket].contains(line)) {
+            const auto ev = l3_[socket].insert(line, LineState::Shared);
+            if (ev)
+                handleL3Eviction(socket, *ev, 0.0);
+        } else {
+            l3_[socket].touch(line, l3_[socket].lookup(line));
+        }
+        fillL2(core, line, state, 0.0);
+        fillL1(core, line, state);
+    } else if (written) {
+        l1d_[core].setState(line, LineState::Modified);
+        if (l2_[core].contains(line))
+            l2_[core].setState(line, LineState::Modified);
+    }
+
+    if (llc_dirty && l3_[socket].contains(line))
+        l3_[socket].setState(line, LineState::Modified);
+
+    DirEntry &entry = dirEntry(line);
+    entry.coreMask |= bit(core);
+    entry.socketMask |= bit(socket);
+    if (written)
+        entry.owner = static_cast<int8_t>(core);
+    functional_ = false;
+}
+
+void
+MemSystem::beginRegion(unsigned active_threads)
+{
+    dramFree_.assign(config_.numCores, 0.0);
+    dramShare_.assign(config_.numSockets(), config_.dramTransferCycles);
+    for (unsigned s = 0; s < config_.numSockets(); ++s) {
+        unsigned active = 0;
+        for (unsigned c = 0; c < config_.numCores; ++c) {
+            if (c < active_threads && socketOf(c) == s)
+                ++active;
+        }
+        dramShare_[s] = config_.dramTransferCycles * std::max(1u, active);
+    }
+}
+
+void
+MemSystem::reset()
+{
+    for (auto &cache : l1d_)
+        cache.reset();
+    for (auto &cache : l2_)
+        cache.reset();
+    for (auto &cache : l3_)
+        cache.reset();
+    dir_.clear();
+    dramFree_.assign(config_.numCores, 0.0);
+    dramShare_.assign(config_.numSockets(), config_.dramTransferCycles);
+    stats_ = MemStats();
+}
+
+uint64_t
+MemSystem::l1Occupancy(unsigned core) const
+{
+    return l1d_.at(core).occupancy();
+}
+
+uint64_t
+MemSystem::l2Occupancy(unsigned core) const
+{
+    return l2_.at(core).occupancy();
+}
+
+uint64_t
+MemSystem::l3Occupancy(unsigned socket) const
+{
+    return l3_.at(socket).occupancy();
+}
+
+LineState
+MemSystem::l1State(unsigned core, uint64_t line_addr) const
+{
+    return l1d_.at(core).state(line_addr);
+}
+
+} // namespace bp

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Multi-socket cache hierarchy with MSI directory coherence.
+ *
+ * Topology (per the paper's Table I):
+ *   - per core:   private L1-D and private L2 (L2 inclusive of L1)
+ *   - per socket: shared L3, inclusive of all L1/L2 in the socket
+ *   - per socket: DRAM channel with fixed latency plus a bandwidth
+ *     queueing model (64 B transfers at the configured GB/s)
+ *
+ * Coherence is a line-granularity MSI directory: the directory tracks
+ * which cores may hold a line privately (core mask), which sockets
+ * hold it in L3 (socket mask), and the single Modified owner if any.
+ * Stores to shared lines invalidate remote copies; reads of remotely
+ * modified lines downgrade the owner to Shared and reflect the dirty
+ * data to memory (a simple, valid MSI variant).
+ *
+ * The L1-I cache is configured for completeness but modelled as ideal:
+ * the synthetic workloads' code footprints fit comfortably in a 32 KB
+ * L1-I, matching the NPB kernels the paper uses.
+ */
+
+#ifndef BP_MEMSYS_MEM_SYSTEM_H
+#define BP_MEMSYS_MEM_SYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/memsys/cache.h"
+
+namespace bp {
+
+/** Where an access was satisfied. */
+enum class MemLevel : uint8_t {
+    L1,
+    L2,
+    L3,
+    RemoteCache,  ///< another socket's L3 or a remote Modified copy
+    Dram,
+};
+
+/** @return a short human-readable name for a level. */
+const char *memLevelName(MemLevel level);
+
+/** Full configuration of the memory system. */
+struct MemSystemConfig
+{
+    unsigned numCores = 8;
+    unsigned coresPerSocket = 8;
+
+    CacheGeometry l1i{32 * 1024, 4, 4};
+    CacheGeometry l1d{32 * 1024, 8, 4};
+    CacheGeometry l2{256 * 1024, 8, 8};
+    CacheGeometry l3{8 * 1024 * 1024, 16, 30};  ///< per socket
+
+    double dramLatency = 173.0;        ///< cycles (65 ns at 2.66 GHz)
+    double dramTransferCycles = 21.3;  ///< 64 B at 8 GB/s, in cycles
+    double remoteCacheLatency = 90.0;  ///< cross-socket cache hit
+    double dirtyForwardLatency = 40.0; ///< extra cost to fetch an M copy
+    double upgradeLatency = 20.0;      ///< S->M upgrade round trip
+
+    unsigned numSockets() const { return (numCores + coresPerSocket - 1) / coresPerSocket; }
+};
+
+/** Aggregate event counters; snapshot-and-subtract for region deltas. */
+struct MemStats
+{
+    uint64_t accesses = 0;
+    uint64_t l1Hits = 0;
+    uint64_t l2Hits = 0;
+    uint64_t l3Hits = 0;
+    uint64_t remoteHits = 0;
+    uint64_t dramReads = 0;
+    uint64_t dramWrites = 0;
+    uint64_t invalidations = 0;
+    uint64_t upgrades = 0;
+    uint64_t llcMisses = 0;  ///< accesses leaving the requesting socket
+
+    /** @return this - other, counter-wise. */
+    MemStats delta(const MemStats &other) const;
+
+    /** @return dramReads + dramWrites. */
+    uint64_t dramAccesses() const { return dramReads + dramWrites; }
+};
+
+/** Timing outcome of one access. */
+struct AccessResult
+{
+    double latency;   ///< cycles, including queueing
+    MemLevel level;   ///< where the data came from
+};
+
+/**
+ * The full memory hierarchy of a simulated machine.
+ */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const MemSystemConfig &config);
+
+    /**
+     * Perform a timed access.
+     *
+     * @param core requesting core id
+     * @param addr byte address
+     * @param is_write true for stores
+     * @param now requesting core's local clock (cycles), used by the
+     *            per-socket DRAM bandwidth model
+     * @return latency and serving level
+     */
+    AccessResult access(unsigned core, uint64_t addr, bool is_write,
+                        double now);
+
+    /**
+     * Functionally install a line on behalf of @p core, without any
+     * timing or statistics side effects. Used by warmup replay. A
+     * written line is installed Modified (other copies invalidated),
+     * reconstructing coherence state as well as cache contents; an
+     * llc_dirty line is installed clean privately but Modified in the
+     * socket's L3, so its eventual eviction still writes memory.
+     */
+    void installFunctional(unsigned core, uint64_t line_addr,
+                           bool written = false, bool llc_dirty = false);
+
+    /** Drop all cached state and directory contents (cold machine). */
+    void reset();
+
+    /**
+     * Rebase the DRAM channel clocks to zero and set the number of
+     * cores actively sharing each socket's channel. Called at
+     * barriers: core-local clocks restart per region, and in-flight
+     * queueing has drained once every thread reaches the barrier.
+     *
+     * Each core sees an effective channel rate of (socket bandwidth /
+     * active cores in the socket); this keeps the bandwidth model
+     * consistent with per-core local clocks while still modelling the
+     * aggregate 8 GB/s-per-socket wall of Table I.
+     *
+     * @param active_threads threads executing the upcoming region
+     */
+    void beginRegion(unsigned active_threads);
+
+    /** @return cumulative statistics since construction or reset. */
+    const MemStats &stats() const { return stats_; }
+
+    const MemSystemConfig &config() const { return config_; }
+
+    unsigned socketOf(unsigned core) const;
+
+    /** @return occupancy of a core's L1-D (testing hook). */
+    uint64_t l1Occupancy(unsigned core) const;
+    /** @return occupancy of a core's L2 (testing hook). */
+    uint64_t l2Occupancy(unsigned core) const;
+    /** @return occupancy of a socket's L3 (testing hook). */
+    uint64_t l3Occupancy(unsigned socket) const;
+
+    /** @return MSI state of @p line in a core's L1-D (testing hook). */
+    LineState l1State(unsigned core, uint64_t line_addr) const;
+
+  private:
+    /** Directory entry for one line. */
+    struct DirEntry
+    {
+        uint32_t coreMask = 0;   ///< cores that may hold the line (L1/L2)
+        uint32_t socketMask = 0; ///< sockets holding the line in L3
+        int8_t owner = -1;       ///< core with the Modified copy, or -1
+    };
+
+    DirEntry &dirEntry(uint64_t line);
+    DirEntry *findDir(uint64_t line);
+    void maybeEraseDir(uint64_t line);
+
+    /** Remove a line from one core's L1+L2; @return true if dirty. */
+    bool invalidateCore(unsigned core, uint64_t line);
+
+    /** Downgrade a Modified owner to Shared, reflecting data to memory. */
+    void downgradeOwner(unsigned owner, uint64_t line, double now);
+
+    /** Invalidate every holder except @p requester; @return remote seen. */
+    bool invalidateSharers(unsigned requester, uint64_t line, double now);
+
+    /** Handle inclusive-L3 eviction: purge the line from the socket. */
+    void handleL3Eviction(unsigned socket, const Eviction &ev, double now);
+
+    /** Insert into a core's L2, maintaining L1 inclusion on eviction. */
+    void fillL2(unsigned core, uint64_t line, LineState state, double now);
+
+    /** Insert into a core's L1, writing back a dirty victim to L2. */
+    void fillL1(unsigned core, uint64_t line, LineState state);
+
+    /** Charge one DRAM transfer on a socket's channel. */
+    double dramAccess(unsigned socket, double now, bool is_read);
+
+    MemSystemConfig config_;
+    std::vector<SetAssocCache> l1d_;   ///< per core
+    std::vector<SetAssocCache> l2_;    ///< per core
+    std::vector<SetAssocCache> l3_;    ///< per socket
+    std::vector<double> dramFree_;     ///< per-core channel free time
+    std::vector<double> dramShare_;    ///< per-socket cycles per transfer
+    std::unordered_map<uint64_t, DirEntry> dir_;
+    MemStats stats_;
+    bool functional_ = false;  ///< suppress timing/stats during warmup
+};
+
+} // namespace bp
+
+#endif // BP_MEMSYS_MEM_SYSTEM_H

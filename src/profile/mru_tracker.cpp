@@ -1,0 +1,109 @@
+#include "src/profile/mru_tracker.h"
+
+#include "src/support/logging.h"
+
+namespace bp {
+
+MruTracker::MruTracker(uint64_t capacity_lines, uint64_t private_lines)
+    : capacity_(capacity_lines), privateCapacity_(private_lines)
+{
+    BP_ASSERT(capacity_ > 0, "MRU capacity must be positive");
+    BP_ASSERT(privateCapacity_ > 0, "private capacity must be positive");
+}
+
+void
+MruTracker::access(uint64_t line, bool write)
+{
+    // Main (LLC-sized) recency list.
+    auto it = map_.find(line);
+    if (it != map_.end()) {
+        order_.erase(it->second);
+    } else if (map_.size() >= capacity_) {
+        const uint64_t victim = order_.front();
+        map_.erase(victim);
+        llcDirty_.erase(victim);
+        order_.pop_front();
+    }
+    order_.push_back(line);
+    map_[line] = std::prev(order_.end());
+
+    // Private-capacity dirtiness filter. While a line stays within
+    // this window its dirty data (if any) is still in L1/L2; once it
+    // ages out, the dirty copy has been written back to the LLC.
+    auto pit = privMap_.find(line);
+    bool dirty = write;
+    if (pit != privMap_.end()) {
+        dirty = dirty || pit->second->dirty;
+        privOrder_.erase(pit->second);
+        privMap_.erase(pit);
+    } else if (privMap_.size() >= privateCapacity_) {
+        const PrivateLine &victim = privOrder_.front();
+        if (victim.dirty)
+            llcDirty_.insert(victim.line);
+        privMap_.erase(victim.line);
+        privOrder_.pop_front();
+    }
+    privOrder_.push_back(PrivateLine{line, dirty});
+    privMap_[line] = std::prev(privOrder_.end());
+    if (write)
+        llcDirty_.erase(line);
+}
+
+void
+MruTracker::invalidateLine(uint64_t line)
+{
+    auto it = map_.find(line);
+    if (it != map_.end()) {
+        order_.erase(it->second);
+        map_.erase(it);
+    }
+    auto pit = privMap_.find(line);
+    if (pit != privMap_.end()) {
+        privOrder_.erase(pit->second);
+        privMap_.erase(pit);
+    }
+    llcDirty_.erase(line);
+}
+
+void
+MruTracker::downgradeLine(uint64_t line)
+{
+    auto pit = privMap_.find(line);
+    if (pit != privMap_.end() && pit->second->dirty) {
+        pit->second->dirty = false;
+        llcDirty_.insert(line);
+    }
+}
+
+std::vector<MruEntry>
+MruTracker::snapshot(uint64_t llc_dirty_window) const
+{
+    std::vector<MruEntry> entries;
+    entries.reserve(order_.size());
+    const uint64_t total = order_.size();
+    uint64_t position = 0;  // 0 = oldest
+    for (const uint64_t line : order_) {
+        const uint64_t from_mru = total - 1 - position;
+        ++position;
+        MruEntry entry{line, false, false};
+        auto pit = privMap_.find(line);
+        if (pit != privMap_.end() && pit->second->dirty)
+            entry.written = true;
+        else if (from_mru < llc_dirty_window && llcDirty_.count(line))
+            entry.llcDirty = true;
+        entries.push_back(entry);
+    }
+    return entries;
+}
+
+void
+MruTracker::reset()
+{
+    order_.clear();
+    map_.clear();
+    privOrder_.clear();
+    privMap_.clear();
+    llcDirty_.clear();
+}
+
+} // namespace bp

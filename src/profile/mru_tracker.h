@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Most-recently-used line tracker for the warmup methodology.
+ *
+ * During the (microarchitecture-independent) profiling run, each core
+ * records its most recently touched cache lines, with a capacity
+ * equal to the largest shared LLC that will ever be simulated. Before
+ * detailed simulation of a barrierpoint, each core's list is replayed
+ * in access order (oldest first) to reconstruct cache and coherence
+ * state — the paper's extension of No-State-Loss / Live-points to
+ * multi-threaded, multi-level hierarchies.
+ *
+ * Coherence state is reconstructed from two dirtiness levels:
+ *   - a line is replayed *privately dirty* (Modified in L1/L2) when
+ *     it has stayed within an L2-capacity LRU window of this core's
+ *     accesses since it was last written;
+ *   - a line whose dirty copy has aged past that window is replayed
+ *     *LLC dirty*: present Shared in the private levels but Modified
+ *     in the L3, so its eventual eviction still writes memory.
+ */
+
+#ifndef BP_PROFILE_MRU_TRACKER_H
+#define BP_PROFILE_MRU_TRACKER_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace bp {
+
+/** One retained line and the coherence state it should replay with. */
+struct MruEntry
+{
+    uint64_t line;
+    bool written;   ///< replay as Modified in the private levels
+    bool llcDirty;  ///< replay with a dirty LLC copy
+};
+
+/** Bounded LRU-ordered set of the lines one core touched most recently. */
+class MruTracker
+{
+  public:
+    /**
+     * @param capacity_lines  lines retained (largest simulated LLC)
+     * @param private_lines   private-cache (L2) capacity used to decide
+     *                        whether a written line is still dirty in
+     *                        the private levels
+     */
+    explicit MruTracker(uint64_t capacity_lines,
+                        uint64_t private_lines = 4096);
+
+    /** Record a touch of @p line (moves it to MRU). */
+    void access(uint64_t line, bool write);
+
+    /**
+     * Another core wrote @p line: this core's copy is gone. Drops the
+     * line from the tracker entirely (coherence-aware capture).
+     */
+    void invalidateLine(uint64_t line);
+
+    /**
+     * Another core read @p line while this core held it dirty: the
+     * dirty data migrated to the LLC (cache-to-cache downgrade).
+     */
+    void downgradeLine(uint64_t line);
+
+    /**
+     * @return retained entries in replay order: oldest (LRU) first.
+     *
+     * @param llc_dirty_window only lines within this many most-recent
+     *        positions replay an LLC-dirty copy; older dirty data has
+     *        likely been written back by LLC contention already. Pass
+     *        the per-core share of the simulated LLC.
+     */
+    std::vector<MruEntry> snapshot(
+        uint64_t llc_dirty_window = UINT64_MAX) const;
+
+    uint64_t size() const { return map_.size(); }
+    uint64_t capacity() const { return capacity_; }
+
+    /** Drop all state. */
+    void reset();
+
+  private:
+    struct PrivateLine
+    {
+        uint64_t line;
+        bool dirty;
+    };
+
+    uint64_t capacity_;
+    uint64_t privateCapacity_;
+
+    std::list<uint64_t> order_;  ///< front = LRU, back = MRU
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+
+    /** L2-sized LRU filter deciding private-level dirtiness. */
+    std::list<PrivateLine> privOrder_;
+    std::unordered_map<uint64_t, std::list<PrivateLine>::iterator>
+        privMap_;
+
+    /** Lines whose dirty copy has migrated to the LLC. */
+    std::unordered_set<uint64_t> llcDirty_;
+};
+
+} // namespace bp
+
+#endif // BP_PROFILE_MRU_TRACKER_H

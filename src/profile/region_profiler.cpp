@@ -1,0 +1,89 @@
+#include "src/profile/region_profiler.h"
+
+#include "src/support/logging.h"
+
+namespace bp {
+
+uint64_t
+RegionProfile::instructions() const
+{
+    uint64_t total = 0;
+    for (const auto &thread : threads)
+        total += thread.instructions;
+    return total;
+}
+
+uint64_t
+RegionProfile::memOps() const
+{
+    uint64_t total = 0;
+    for (const auto &thread : threads)
+        total += thread.memOps;
+    return total;
+}
+
+RegionProfiler::RegionProfiler(unsigned threads,
+                               uint64_t mru_capacity_lines)
+    : threads_(threads)
+{
+    BP_ASSERT(threads_ >= 1, "profiler needs at least one thread");
+    reuse_.resize(threads_);
+    if (mru_capacity_lines > 0) {
+        mru_.reserve(threads_);
+        for (unsigned t = 0; t < threads_; ++t)
+            mru_.emplace_back(mru_capacity_lines);
+    }
+}
+
+RegionProfile
+RegionProfiler::profileRegion(const RegionTrace &region)
+{
+    BP_ASSERT(region.threadCount() == threads_,
+              "trace thread count does not match the profiler");
+
+    RegionProfile profile;
+    profile.regionIndex = region.regionIndex();
+    profile.threads.resize(threads_);
+
+    // A cold access has an unbounded stack distance; it lands in a
+    // high bucket that no finite cache could satisfy.
+    constexpr uint64_t cold_marker = 1ull << 38;
+
+    for (unsigned t = 0; t < threads_; ++t) {
+        ThreadProfile &thread_profile = profile.threads[t];
+        ReuseDistanceCollector &reuse = reuse_[t];
+        MruTracker *mru = mru_.empty() ? nullptr : &mru_[t];
+
+        for (const MicroOp &op : region.thread(t)) {
+            ++thread_profile.instructions;
+            ++thread_profile.bbv[op.bb];
+            if (!op.isMem())
+                continue;
+            ++thread_profile.memOps;
+            const uint64_t line = lineOf(op.addr);
+            const uint64_t distance = reuse.access(line);
+            if (distance == ReuseDistanceCollector::kCold) {
+                ++thread_profile.coldAccesses;
+                thread_profile.ldv.add(cold_marker);
+            } else {
+                thread_profile.ldv.add(distance);
+            }
+            if (mru)
+                mru->access(line, op.kind == OpKind::Store);
+        }
+    }
+    return profile;
+}
+
+std::vector<std::vector<MruEntry>>
+RegionProfiler::mruSnapshot() const
+{
+    BP_ASSERT(!mru_.empty(), "MRU tracking was not enabled");
+    std::vector<std::vector<MruEntry>> snapshot;
+    snapshot.reserve(threads_);
+    for (const auto &tracker : mru_)
+        snapshot.push_back(tracker.snapshot());
+    return snapshot;
+}
+
+} // namespace bp

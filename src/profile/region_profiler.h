@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-region microarchitecture-independent profiling.
+ *
+ * The profiler plays the role of the paper's Pin tool: it consumes
+ * the same dynamic instruction stream the timing simulator executes
+ * and produces, per inter-barrier region and per thread, a Basic
+ * Block Vector and an LRU stack distance vector, plus aggregate
+ * instruction counts. Reuse-distance state persists across regions
+ * (the LRU stack is a property of the whole execution), so regions
+ * must be fed in order.
+ */
+
+#ifndef BP_PROFILE_REGION_PROFILER_H
+#define BP_PROFILE_REGION_PROFILER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/profile/mru_tracker.h"
+#include "src/profile/reuse_distance.h"
+#include "src/support/histogram.h"
+#include "src/trace/region_trace.h"
+
+namespace bp {
+
+/** One thread's profile of one inter-barrier region. */
+struct ThreadProfile
+{
+    std::unordered_map<uint32_t, uint64_t> bbv;  ///< bb id -> exec count
+    Pow2Histogram ldv{40};                       ///< stack distance buckets
+    uint64_t instructions = 0;
+    uint64_t memOps = 0;
+    uint64_t coldAccesses = 0;
+};
+
+/** All threads' profiles of one inter-barrier region. */
+struct RegionProfile
+{
+    uint32_t regionIndex = 0;
+    std::vector<ThreadProfile> threads;
+
+    /** @return aggregate instruction count across threads. */
+    uint64_t instructions() const;
+
+    /** @return aggregate memory operation count across threads. */
+    uint64_t memOps() const;
+};
+
+/** Streaming profiler; feed regions in execution order. */
+class RegionProfiler
+{
+  public:
+    /**
+     * @param threads            thread count of the traces to come
+     * @param mru_capacity_lines per-core MRU capacity (0 disables
+     *                           MRU tracking entirely)
+     */
+    explicit RegionProfiler(unsigned threads,
+                            uint64_t mru_capacity_lines = 0);
+
+    /** Profile one region and advance the persistent LRU/MRU state. */
+    RegionProfile profileRegion(const RegionTrace &region);
+
+    /**
+     * Per-core MRU snapshot reflecting all regions profiled so far —
+     * i.e. the warmup data for the *next* region. Requires MRU
+     * tracking to have been enabled.
+     */
+    std::vector<std::vector<MruEntry>> mruSnapshot() const;
+
+    unsigned threadCount() const { return threads_; }
+
+  private:
+    unsigned threads_;
+    std::vector<ReuseDistanceCollector> reuse_;
+    std::vector<MruTracker> mru_;
+};
+
+} // namespace bp
+
+#endif // BP_PROFILE_REGION_PROFILER_H

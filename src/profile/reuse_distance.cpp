@@ -1,0 +1,85 @@
+#include "src/profile/reuse_distance.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+
+namespace bp {
+
+ReuseDistanceCollector::ReuseDistanceCollector(size_t initial_capacity)
+    : live_(std::max<size_t>(16, initial_capacity), 0),
+      tree_(std::max<size_t>(16, initial_capacity))
+{
+}
+
+uint64_t
+ReuseDistanceCollector::access(uint64_t line)
+{
+    ++accesses_;
+
+    uint64_t distance = kCold;
+    auto it = lastPos_.find(line);
+    if (it != lastPos_.end()) {
+        const uint64_t pos = it->second;
+        // Lines whose MRU position is later than `pos` were touched
+        // after the previous access to this line.
+        distance = static_cast<uint64_t>(
+            tree_.rangeSum(pos + 1, nextPos_ == 0 ? 0 : nextPos_ - 1));
+        tree_.add(pos, -1);
+        live_[pos] = 0;
+        // Remove the stale mapping before any compaction can run:
+        // compact() rebuilds from lastPos_ and must not resurrect it.
+        lastPos_.erase(it);
+    }
+
+    if (nextPos_ >= live_.size()) {
+        // Out of positions: compact, doubling only when the live set
+        // actually fills more than half the space.
+        const uint64_t live_count = lastPos_.size();
+        const size_t target = live_count * 2 > live_.size()
+            ? live_.size() * 2 : live_.size();
+        compact(target);
+    }
+
+    const uint64_t pos = nextPos_++;
+    tree_.add(pos, 1);
+    live_[pos] = 1;
+    lastPos_.emplace(line, pos);
+    return distance;
+}
+
+void
+ReuseDistanceCollector::compact(size_t new_capacity)
+{
+    // Collect live (position, line) pairs in position order.
+    std::vector<std::pair<uint64_t, uint64_t>> entries;
+    entries.reserve(lastPos_.size());
+    for (const auto &[line, pos] : lastPos_)
+        entries.emplace_back(pos, line);
+    std::sort(entries.begin(), entries.end());
+
+    BP_ASSERT(new_capacity > entries.size(),
+              "compaction target must exceed the live set");
+
+    live_.assign(new_capacity, 0);
+    tree_ = FenwickTree(new_capacity);
+    nextPos_ = 0;
+    for (const auto &[old_pos, line] : entries) {
+        lastPos_[line] = nextPos_;
+        live_[nextPos_] = 1;
+        tree_.add(nextPos_, 1);
+        ++nextPos_;
+    }
+}
+
+void
+ReuseDistanceCollector::reset()
+{
+    lastPos_.clear();
+    std::fill(live_.begin(), live_.end(), 0);
+    tree_ = FenwickTree(live_.size());
+    nextPos_ = 0;
+    accesses_ = 0;
+}
+
+} // namespace bp

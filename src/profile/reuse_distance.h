@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Exact LRU stack distance collection (Mattson et al.).
+ *
+ * The stack distance of an access is the number of distinct other
+ * cache lines touched since the previous access to the same line
+ * (an MRU re-access has distance 0; a cold access has no distance).
+ * The classic O(log n) algorithm is used: every access occupies a
+ * logical timestamp position; a Fenwick tree counts, per position,
+ * whether it is the *most recent* access to its line; the distance
+ * is then a suffix count of live positions. The position space is
+ * periodically compacted so memory stays proportional to the
+ * footprint rather than the access count.
+ */
+
+#ifndef BP_PROFILE_REUSE_DISTANCE_H
+#define BP_PROFILE_REUSE_DISTANCE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/fenwick.h"
+
+namespace bp {
+
+/** Streaming exact reuse-distance calculator for one thread. */
+class ReuseDistanceCollector
+{
+  public:
+    /** Distance reported for cold (first-touch) accesses. */
+    static constexpr uint64_t kCold = UINT64_MAX;
+
+    explicit ReuseDistanceCollector(size_t initial_capacity = 1 << 14);
+
+    /**
+     * Record an access to @p line.
+     *
+     * @return the LRU stack distance, or kCold on first touch.
+     */
+    uint64_t access(uint64_t line);
+
+    /** Forget all history. */
+    void reset();
+
+    /** @return number of distinct lines currently tracked. */
+    uint64_t footprint() const { return lastPos_.size(); }
+
+    /** @return total accesses observed since construction/reset. */
+    uint64_t accesses() const { return accesses_; }
+
+  private:
+    /** Renumber live positions into [0, footprint) and rebuild. */
+    void compact(size_t new_capacity);
+
+    std::unordered_map<uint64_t, uint64_t> lastPos_;  ///< line -> position
+    std::vector<uint8_t> live_;  ///< 1 when a position is a line's MRU
+    FenwickTree tree_;
+    uint64_t nextPos_ = 0;
+    uint64_t accesses_ = 0;
+};
+
+} // namespace bp
+
+#endif // BP_PROFILE_REUSE_DISTANCE_H

@@ -1,0 +1,37 @@
+#include "src/sim/machine_config.h"
+
+#include "src/support/logging.h"
+
+namespace bp {
+
+double
+MachineConfig::secondsFromCycles(double cycles) const
+{
+    return cycles / (freqGHz * 1e9);
+}
+
+MachineConfig
+MachineConfig::withCores(unsigned cores)
+{
+    BP_ASSERT(cores >= 1 && cores <= 32, "supported core counts: 1..32");
+    MachineConfig config;
+    config.name = std::to_string(cores) + "-core";
+    config.numCores = cores;
+    config.mem.numCores = cores;
+    config.mem.coresPerSocket = cores < 8 ? cores : 8;
+    return config;
+}
+
+MachineConfig
+MachineConfig::cores8()
+{
+    return withCores(8);
+}
+
+MachineConfig
+MachineConfig::cores32()
+{
+    return withCores(32);
+}
+
+} // namespace bp

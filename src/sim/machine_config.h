@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Full description of a simulated machine (Table I of the paper).
+ */
+
+#ifndef BP_SIM_MACHINE_CONFIG_H
+#define BP_SIM_MACHINE_CONFIG_H
+
+#include <string>
+
+#include "src/memsys/mem_system.h"
+
+namespace bp {
+
+/**
+ * Core and system parameters of a simulation target.
+ *
+ * The two factory functions reproduce the paper's configurations:
+ * an 8-core single-socket machine and a 32-core four-socket machine,
+ * both with 2.66 GHz 4-wide cores, 128-entry ROBs, a three-level
+ * cache hierarchy (L1/L2 private, 8 MB L3 shared per 8-core socket),
+ * MSI directory coherence, and 65 ns / 8 GB-per-socket DRAM.
+ */
+struct MachineConfig
+{
+    std::string name = "8-core";
+    unsigned numCores = 8;
+    double freqGHz = 2.66;
+
+    unsigned issueWidth = 4;
+    unsigned robSize = 128;
+    unsigned branchPenalty = 8;   ///< cycles per mispredicted branch
+    unsigned mlpLimit = 4;        ///< max overlapped long-latency misses
+
+    /**
+     * Fraction of a memory access's latency that appears on the
+     * critical path even when the miss fits in the ROB window; models
+     * address-generation and dependence chains through loads.
+     */
+    double dependencyFraction = 0.125;
+
+    double barrierBaseCycles = 100.0;
+    double barrierPerCoreCycles = 10.0;
+
+    /** Thread-interleaving quantum of the region simulator (uops). */
+    unsigned quantum = 1000;
+
+    MemSystemConfig mem;
+
+    /** Cycles a core can hide of a long-latency miss (ROB drain). */
+    double robCredit() const { return static_cast<double>(robSize) / issueWidth; }
+
+    /** Cost of one global barrier, in cycles. */
+    double
+    barrierCost() const
+    {
+        return barrierBaseCycles + barrierPerCoreCycles * numCores;
+    }
+
+    /** Convert cycles to seconds at the configured frequency. */
+    double secondsFromCycles(double cycles) const;
+
+    /** The paper's 8-core, single-socket machine. */
+    static MachineConfig cores8();
+
+    /** The paper's 32-core, four-socket machine. */
+    static MachineConfig cores32();
+
+    /** A machine with @p cores cores (8 per socket), for sweeps. */
+    static MachineConfig withCores(unsigned cores);
+};
+
+} // namespace bp
+
+#endif // BP_SIM_MACHINE_CONFIG_H

@@ -1,0 +1,74 @@
+#include "src/sim/sim_stats.h"
+
+namespace bp {
+
+double
+RegionStats::ipc() const
+{
+    return cycles > 0.0 ? static_cast<double>(instructions) / cycles : 0.0;
+}
+
+double
+RegionStats::dramApki() const
+{
+    if (instructions == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(mem.dramAccesses()) /
+        static_cast<double>(instructions);
+}
+
+double
+RegionStats::llcMpki() const
+{
+    if (instructions == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(mem.llcMisses) /
+        static_cast<double>(instructions);
+}
+
+double
+RunResult::totalCycles() const
+{
+    double total = 0.0;
+    for (const auto &region : regions)
+        total += region.cycles;
+    return total;
+}
+
+uint64_t
+RunResult::totalInstructions() const
+{
+    uint64_t total = 0;
+    for (const auto &region : regions)
+        total += region.instructions;
+    return total;
+}
+
+uint64_t
+RunResult::totalDramAccesses() const
+{
+    uint64_t total = 0;
+    for (const auto &region : regions)
+        total += region.mem.dramAccesses();
+    return total;
+}
+
+double
+RunResult::ipc() const
+{
+    const double cycles = totalCycles();
+    return cycles > 0.0 ? static_cast<double>(totalInstructions()) / cycles
+                        : 0.0;
+}
+
+double
+RunResult::dramApki() const
+{
+    const uint64_t instructions = totalInstructions();
+    if (instructions == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(totalDramAccesses()) /
+        static_cast<double>(instructions);
+}
+
+} // namespace bp

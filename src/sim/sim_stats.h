@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-region and whole-run simulation statistics.
+ */
+
+#ifndef BP_SIM_SIM_STATS_H
+#define BP_SIM_SIM_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/memsys/mem_system.h"
+
+namespace bp {
+
+/** Timing and event statistics for one simulated inter-barrier region. */
+struct RegionStats
+{
+    uint32_t regionIndex = 0;
+    uint64_t instructions = 0;   ///< aggregate uops across all threads
+    double cycles = 0.0;         ///< region duration (max thread + barrier)
+    double startCycle = 0.0;     ///< run-relative start (full runs only)
+    uint64_t mispredicts = 0;
+    MemStats mem;                ///< memory-system events of this region
+
+    /** Aggregate IPC: instructions retired per machine cycle. */
+    double ipc() const;
+
+    /** DRAM accesses per kilo-instruction. */
+    double dramApki() const;
+
+    /** LLC misses per kilo-instruction. */
+    double llcMpki() const;
+};
+
+/** Results of simulating a full application run region by region. */
+struct RunResult
+{
+    std::vector<RegionStats> regions;
+
+    double totalCycles() const;
+    uint64_t totalInstructions() const;
+    uint64_t totalDramAccesses() const;
+
+    /** Whole-run aggregate IPC. */
+    double ipc() const;
+
+    /** Whole-run DRAM APKI. */
+    double dramApki() const;
+};
+
+} // namespace bp
+
+#endif // BP_SIM_SIM_STATS_H

@@ -1,0 +1,83 @@
+#include "src/support/histogram.h"
+
+#include <bit>
+
+#include "src/support/logging.h"
+
+namespace bp {
+
+Pow2Histogram::Pow2Histogram(unsigned max_buckets)
+    : buckets_(max_buckets, 0)
+{
+    BP_ASSERT(max_buckets >= 1 && max_buckets <= 64,
+              "bucket count out of range");
+}
+
+unsigned
+Pow2Histogram::bucketOf(uint64_t value)
+{
+    if (value < 2)
+        return 0;
+    return 63 - static_cast<unsigned>(std::countl_zero(value));
+}
+
+void
+Pow2Histogram::add(uint64_t value, uint64_t count)
+{
+    unsigned idx = bucketOf(value);
+    if (idx >= buckets_.size())
+        idx = static_cast<unsigned>(buckets_.size()) - 1;
+    buckets_[idx] += count;
+}
+
+void
+Pow2Histogram::merge(const Pow2Histogram &other)
+{
+    if (other.buckets_.size() > buckets_.size())
+        buckets_.resize(other.buckets_.size(), 0);
+    for (size_t i = 0; i < other.buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+}
+
+void
+Pow2Histogram::clear()
+{
+    for (auto &b : buckets_)
+        b = 0;
+}
+
+uint64_t
+Pow2Histogram::bucket(unsigned index) const
+{
+    if (index >= buckets_.size())
+        return 0;
+    return buckets_[index];
+}
+
+uint64_t
+Pow2Histogram::totalCount() const
+{
+    uint64_t total = 0;
+    for (const auto b : buckets_)
+        total += b;
+    return total;
+}
+
+uint64_t
+Pow2Histogram::bucketLow(unsigned index)
+{
+    if (index == 0)
+        return 0;
+    return 1ull << index;
+}
+
+std::vector<double>
+Pow2Histogram::toVector() const
+{
+    std::vector<double> out(buckets_.size());
+    for (size_t i = 0; i < buckets_.size(); ++i)
+        out[i] = static_cast<double>(buckets_[i]);
+    return out;
+}
+
+} // namespace bp

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Power-of-two bucketed histogram.
+ *
+ * Used for LRU stack distance vectors (LDVs): bucket n counts values in
+ * [2^n, 2^(n+1)), with bucket 0 counting values in [0, 2). A dedicated
+ * overflow convention is not needed because 64 buckets cover the full
+ * uint64_t range.
+ */
+
+#ifndef BP_SUPPORT_HISTOGRAM_H
+#define BP_SUPPORT_HISTOGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bp {
+
+/** Histogram over power-of-two buckets of non-negative 64-bit values. */
+class Pow2Histogram
+{
+  public:
+    /** @param max_buckets highest number of buckets kept (<= 64). */
+    explicit Pow2Histogram(unsigned max_buckets = 40);
+
+    /** Map a value to its bucket index (floor(log2(value)), 0 for 0/1). */
+    static unsigned bucketOf(uint64_t value);
+
+    /** Record one observation of @p value with weight @p count. */
+    void add(uint64_t value, uint64_t count = 1);
+
+    /** Add another histogram bucket-wise. */
+    void merge(const Pow2Histogram &other);
+
+    /** Reset all buckets to zero. */
+    void clear();
+
+    /** @return count in bucket @p index (0 when out of range). */
+    uint64_t bucket(unsigned index) const;
+
+    /** @return number of buckets kept. */
+    unsigned numBuckets() const { return static_cast<unsigned>(buckets_.size()); }
+
+    /** @return sum of all bucket counts. */
+    uint64_t totalCount() const;
+
+    /** @return lower edge (inclusive) of bucket @p index. */
+    static uint64_t bucketLow(unsigned index);
+
+    /** @return buckets as a dense vector of doubles (for signatures). */
+    std::vector<double> toVector() const;
+
+  private:
+    std::vector<uint64_t> buckets_;
+};
+
+} // namespace bp
+
+#endif // BP_SUPPORT_HISTOGRAM_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in this library must be reproducible: a workload region
+ * regenerated from its index must produce the identical dynamic
+ * instruction stream, and clustering must be stable across runs.
+ * We therefore use an explicitly seeded xoshiro256** generator (with
+ * SplitMix64 seeding) instead of std::mt19937 so behaviour is
+ * identical across standard-library implementations.
+ */
+
+#ifndef BP_SUPPORT_RNG_H
+#define BP_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace bp {
+
+/** SplitMix64 step; used for seeding and cheap stateless hashing. */
+uint64_t splitMix64(uint64_t &state);
+
+/** Stateless integer mix (one SplitMix64 round on the value itself). */
+uint64_t hashMix(uint64_t value);
+
+/**
+ * xoshiro256** PRNG.
+ *
+ * Small, fast, high-quality generator with an explicit 64-bit seed.
+ * Satisfies enough of UniformRandomBitGenerator for our own helpers;
+ * all distribution helpers are provided as members so results do not
+ * depend on libstdc++ distribution internals.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Re-seed the generator deterministically. */
+    void seed(uint64_t seed);
+
+    /** @return next raw 64-bit value. */
+    uint64_t next();
+
+    /** @return uniform integer in [0, bound), bound > 0. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** @return uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return standard-normal double (Box-Muller, cached pair). */
+    double nextGaussian();
+
+  private:
+    uint64_t s_[4];
+    double gaussCache_ = 0.0;
+    bool hasGaussCache_ = false;
+};
+
+} // namespace bp
+
+#endif // BP_SUPPORT_RNG_H

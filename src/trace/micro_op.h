@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dynamic micro-operation: the unit of work in all traces.
+ *
+ * Workload generators emit MicroOps; the profiler and the timing
+ * simulator both consume the identical stream, which is what makes the
+ * collected signatures microarchitecture-independent and the
+ * barrierpoint "checkpoints" (regeneration from a region index) valid.
+ */
+
+#ifndef BP_TRACE_MICRO_OP_H
+#define BP_TRACE_MICRO_OP_H
+
+#include <cstdint>
+
+namespace bp {
+
+/** Kind of a dynamic micro-operation. */
+enum class OpKind : uint8_t {
+    Alu,    ///< non-memory instruction (integer/FP/branch work)
+    Load,   ///< memory read
+    Store,  ///< memory write
+};
+
+/** Cache line size used throughout the library (bytes). */
+constexpr uint64_t kLineBytes = 64;
+
+/** log2 of the cache line size. */
+constexpr unsigned kLineShift = 6;
+
+/** @return the cache line index containing byte address @p addr. */
+constexpr uint64_t
+lineOf(uint64_t addr)
+{
+    return addr >> kLineShift;
+}
+
+/**
+ * One dynamic instruction.
+ *
+ * Alu ops have addr == 0; Load/Store carry a byte address. Every op
+ * carries the static basic block id it belongs to, which is what the
+ * BBV profiler counts.
+ */
+struct MicroOp
+{
+    uint64_t addr;  ///< byte address for Load/Store, 0 for Alu
+    uint32_t bb;    ///< static basic block id
+    OpKind kind;    ///< operation class
+
+    static MicroOp
+    alu(uint32_t bb_id)
+    {
+        return {0, bb_id, OpKind::Alu};
+    }
+
+    static MicroOp
+    load(uint32_t bb_id, uint64_t address)
+    {
+        return {address, bb_id, OpKind::Load};
+    }
+
+    static MicroOp
+    store(uint32_t bb_id, uint64_t address)
+    {
+        return {address, bb_id, OpKind::Store};
+    }
+
+    bool isMem() const { return kind != OpKind::Alu; }
+};
+
+} // namespace bp
+
+#endif // BP_TRACE_MICRO_OP_H

@@ -1,0 +1,36 @@
+#include "src/trace/region_trace.h"
+
+namespace bp {
+
+uint64_t
+RegionTrace::totalOps() const
+{
+    uint64_t total = 0;
+    for (const auto &stream : threads_)
+        total += stream.size();
+    return total;
+}
+
+uint64_t
+RegionTrace::totalMemOps() const
+{
+    uint64_t total = 0;
+    for (const auto &stream : threads_) {
+        for (const auto &op : stream) {
+            if (op.isMem())
+                ++total;
+        }
+    }
+    return total;
+}
+
+uint64_t
+RegionTrace::maxThreadOps() const
+{
+    uint64_t max_ops = 0;
+    for (const auto &stream : threads_)
+        max_ops = std::max<uint64_t>(max_ops, stream.size());
+    return max_ops;
+}
+
+} // namespace bp

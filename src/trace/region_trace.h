@@ -1,0 +1,69 @@
+/**
+ * @file
+ * RegionTrace: all dynamic instructions of one inter-barrier region.
+ */
+
+#ifndef BP_TRACE_REGION_TRACE_H
+#define BP_TRACE_REGION_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/micro_op.h"
+
+namespace bp {
+
+/**
+ * The dynamic instruction streams of a single inter-barrier region,
+ * one stream per thread. Thread i is pinned to core i throughout the
+ * library (the paper's setup does the same for its OpenMP runs).
+ */
+class RegionTrace
+{
+  public:
+    RegionTrace(uint32_t region_index, unsigned thread_count)
+        : regionIndex_(region_index), threads_(thread_count)
+    {}
+
+    uint32_t regionIndex() const { return regionIndex_; }
+
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** Mutable access to a thread's stream (generators append here). */
+    std::vector<MicroOp> &thread(unsigned t) { return threads_.at(t); }
+
+    /** Read-only access to a thread's stream. */
+    const std::vector<MicroOp> &
+    thread(unsigned t) const
+    {
+        return threads_.at(t);
+    }
+
+    /** @return total dynamic instruction count across all threads. */
+    uint64_t totalOps() const;
+
+    /** @return total memory operation count across all threads. */
+    uint64_t totalMemOps() const;
+
+    /** @return dynamic instruction count of one thread. */
+    uint64_t
+    opsInThread(unsigned t) const
+    {
+        return threads_.at(t).size();
+    }
+
+    /** @return largest per-thread instruction count (load imbalance). */
+    uint64_t maxThreadOps() const;
+
+  private:
+    uint32_t regionIndex_;
+    std::vector<std::vector<MicroOp>> threads_;
+};
+
+} // namespace bp
+
+#endif // BP_TRACE_REGION_TRACE_H

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Internal factory declarations for the built-in workloads.
+ * External code should use makeWorkload() from registry.h.
+ */
+
+#ifndef BP_WORKLOADS_FACTORIES_H
+#define BP_WORKLOADS_FACTORIES_H
+
+#include <memory>
+
+#include "src/workloads/workload.h"
+
+namespace bp {
+
+std::unique_ptr<Workload> makeNpbBt(const WorkloadParams &params);
+std::unique_ptr<Workload> makeNpbCg(const WorkloadParams &params);
+std::unique_ptr<Workload> makeNpbFt(const WorkloadParams &params);
+std::unique_ptr<Workload> makeNpbIs(const WorkloadParams &params);
+std::unique_ptr<Workload> makeNpbLu(const WorkloadParams &params);
+std::unique_ptr<Workload> makeNpbMg(const WorkloadParams &params);
+std::unique_ptr<Workload> makeNpbSp(const WorkloadParams &params);
+std::unique_ptr<Workload> makeBodytrack(const WorkloadParams &params);
+
+} // namespace bp
+
+#endif // BP_WORKLOADS_FACTORIES_H

@@ -1,0 +1,153 @@
+#include "src/workloads/patterns.h"
+
+#include "src/support/logging.h"
+
+namespace bp {
+
+Range
+blockPartition(uint64_t total, unsigned parts, unsigned index)
+{
+    BP_ASSERT(parts > 0 && index < parts, "bad partition arguments");
+    const uint64_t chunk = total / parts;
+    const uint64_t remainder = total % parts;
+    // The first `remainder` parts get one extra element.
+    const uint64_t lo = index * chunk + std::min<uint64_t>(index, remainder);
+    const uint64_t size = chunk + (index < remainder ? 1 : 0);
+    return {lo, lo + size};
+}
+
+Range
+wobbledPartition(uint64_t total, unsigned parts, unsigned index,
+                 double factor)
+{
+    const Range base = blockPartition(total, parts, index);
+    auto size = static_cast<uint64_t>(
+        static_cast<double>(base.size()) * factor);
+    // Never spill into the neighbouring slice: ownership is static.
+    size = std::max<uint64_t>(1, std::min(size, base.size()));
+    return {base.lo, base.lo + size};
+}
+
+namespace {
+
+/**
+ * Emit the segment-boundary (loop control) block. With branchy
+ * control flow the successor block is data dependent, which the
+ * block-level branch predictor cannot learn.
+ */
+inline void
+emitBoundary(std::vector<MicroOp> &out, const LoopSpec &spec,
+             uint64_t segment_index)
+{
+    uint32_t boundary_bb = spec.bb + 1;
+    if (spec.branchy)
+        boundary_bb += static_cast<uint32_t>(hashMix(segment_index) & 1);
+    out.push_back(MicroOp::alu(boundary_bb));
+    out.push_back(MicroOp::alu(boundary_bb));
+}
+
+/** Shared loop skeleton: per element, ALU ops then one memory access. */
+template <typename MemFn>
+inline void
+loopOver(std::vector<MicroOp> &out, const LoopSpec &spec, Range range,
+         unsigned mem_per_elem, MemFn &&mem_fn)
+{
+    const unsigned chunk = std::max(1u, spec.chunk);
+    const uint64_t ops_per_elem = spec.aluPerMem + mem_per_elem;
+    out.reserve(out.size() + range.size() * ops_per_elem +
+                2 * (range.size() / chunk + 1));
+    for (uint64_t i = range.lo; i < range.hi; ++i) {
+        if ((i - range.lo) % chunk == 0)
+            emitBoundary(out, spec, i / chunk);
+        for (unsigned a = 0; a < spec.aluPerMem; ++a)
+            out.push_back(MicroOp::alu(spec.bb));
+        mem_fn(i);
+    }
+}
+
+} // namespace
+
+void
+emitStream(std::vector<MicroOp> &out, const LoopSpec &spec, uint64_t base,
+           uint64_t stride_bytes, Range range, bool write)
+{
+    loopOver(out, spec, range, 1, [&](uint64_t i) {
+        const uint64_t addr = base + i * stride_bytes;
+        out.push_back(write ? MicroOp::store(spec.bb, addr)
+                            : MicroOp::load(spec.bb, addr));
+    });
+}
+
+void
+emitCopy(std::vector<MicroOp> &out, const LoopSpec &spec,
+         uint64_t src_base, uint64_t src_stride, uint64_t dst_base,
+         uint64_t dst_stride, Range range)
+{
+    loopOver(out, spec, range, 2, [&](uint64_t i) {
+        out.push_back(MicroOp::load(spec.bb, src_base + i * src_stride));
+        out.push_back(MicroOp::store(spec.bb, dst_base + i * dst_stride));
+    });
+}
+
+void
+emitStencil(std::vector<MicroOp> &out, const LoopSpec &spec,
+            uint64_t src_base, uint64_t dst_base, uint64_t stride_bytes,
+            Range range)
+{
+    loopOver(out, spec, range, 4, [&](uint64_t i) {
+        const uint64_t prev = i > 0 ? i - 1 : 0;
+        const uint64_t next = i + 1;
+        out.push_back(MicroOp::load(spec.bb, src_base + prev * stride_bytes));
+        out.push_back(MicroOp::load(spec.bb, src_base + i * stride_bytes));
+        out.push_back(MicroOp::load(spec.bb, src_base + next * stride_bytes));
+        out.push_back(MicroOp::store(spec.bb, dst_base + i * stride_bytes));
+    });
+}
+
+void
+emitGather(std::vector<MicroOp> &out, const LoopSpec &spec,
+           uint64_t table_base, uint64_t window_lo_line,
+           uint64_t window_lines, uint64_t count, Rng &rng, bool write)
+{
+    BP_ASSERT(window_lines > 0, "gather window must be non-empty");
+    loopOver(out, spec, Range{0, count}, 1, [&](uint64_t) {
+        const uint64_t line = window_lo_line + rng.nextBounded(window_lines);
+        const uint64_t addr = table_base + line * kLineBytes;
+        out.push_back(write ? MicroOp::store(spec.bb, addr)
+                            : MicroOp::load(spec.bb, addr));
+    });
+}
+
+void
+emitReduce(std::vector<MicroOp> &out, const LoopSpec &spec,
+           uint64_t a_base, uint64_t b_base, uint64_t stride_bytes,
+           Range range)
+{
+    loopOver(out, spec, range, 2, [&](uint64_t i) {
+        out.push_back(MicroOp::load(spec.bb, a_base + i * stride_bytes));
+        out.push_back(MicroOp::load(spec.bb, b_base + i * stride_bytes));
+    });
+}
+
+void
+emitAlu(std::vector<MicroOp> &out, const LoopSpec &spec, uint64_t count)
+{
+    const unsigned chunk = std::max(1u, spec.chunk);
+    out.reserve(out.size() + count + 2 * (count / chunk + 1));
+    for (uint64_t i = 0; i < count; ++i) {
+        if (i % chunk == 0)
+            emitBoundary(out, spec, i / chunk);
+        out.push_back(MicroOp::alu(spec.bb));
+    }
+}
+
+double
+lengthWobble(uint64_t seed, uint64_t key, double amplitude)
+{
+    uint64_t state = seed ^ (key * 0x9E3779B97F4A7C15ull);
+    const uint64_t r = splitMix64(state);
+    const double unit = static_cast<double>(r >> 11) * 0x1.0p-53;
+    return 1.0 + amplitude * (2.0 * unit - 1.0);
+}
+
+} // namespace bp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared emission primitives for the synthetic workload generators.
+ *
+ * Each primitive appends the dynamic instruction stream of one loop
+ * nest to one thread's trace. The knobs map to the behaviours the
+ * BarrierPoint signatures must discriminate:
+ *   - bb          distinct basic-block ids separate phases in BBVs
+ *   - elemStride  spatial locality (8 B unit-stride .. 4 KB set-thrash)
+ *   - aluPerMem   compute/memory mix (IPC)
+ *   - chunk       inner-loop segment length (code granularity)
+ *   - branchy     data-dependent chunk-boundary control flow
+ *                 (exercises the branch predictor)
+ */
+
+#ifndef BP_WORKLOADS_PATTERNS_H
+#define BP_WORKLOADS_PATTERNS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/trace/micro_op.h"
+
+namespace bp {
+
+/** Half-open element range [lo, hi). */
+struct Range
+{
+    uint64_t lo;
+    uint64_t hi;
+
+    uint64_t size() const { return hi - lo; }
+};
+
+/** Block-partition @p total elements over @p parts, return part @p index. */
+Range blockPartition(uint64_t total, unsigned parts, unsigned index);
+
+/**
+ * Block partition with a per-region length factor applied to each
+ * part's size, not to its base: partition boundaries stay fixed
+ * across iterations (static OpenMP scheduling), so data ownership
+ * never migrates between threads, while total work still varies.
+ */
+Range wobbledPartition(uint64_t total, unsigned parts, unsigned index,
+                       double factor);
+
+/** Common knobs of a loop-nest emitter. */
+struct LoopSpec
+{
+    uint32_t bb = 0;           ///< primary basic block id
+    unsigned aluPerMem = 2;    ///< ALU ops before each memory op
+    unsigned chunk = 32;       ///< elements per inner segment
+    bool branchy = false;      ///< unpredictable segment-boundary branch
+};
+
+/**
+ * Stream one array: for each element, aluPerMem ALU ops plus one
+ * load (or store when @p write). Addresses are base + i * stride.
+ */
+void emitStream(std::vector<MicroOp> &out, const LoopSpec &spec,
+                uint64_t base, uint64_t stride_bytes, Range range,
+                bool write);
+
+/**
+ * Copy kernel: read src[i], write dst[i], aluPerMem ALU in between.
+ * Source and destination may use different strides (e.g. multigrid
+ * restriction reads a fine grid and writes a coarse one).
+ */
+void emitCopy(std::vector<MicroOp> &out, const LoopSpec &spec,
+              uint64_t src_base, uint64_t src_stride, uint64_t dst_base,
+              uint64_t dst_stride, Range range);
+
+/**
+ * Three-point stencil: read src[i-1], src[i], src[i+1], write dst[i].
+ * Interior-clamped, so any range is valid.
+ */
+void emitStencil(std::vector<MicroOp> &out, const LoopSpec &spec,
+                 uint64_t src_base, uint64_t dst_base,
+                 uint64_t stride_bytes, Range range);
+
+/**
+ * Random gather (or scatter when @p write) of @p count accesses into
+ * the line window [window_lo_line, window_lo_line + window_lines) of
+ * the table at @p table_base. The access sequence is fully determined
+ * by @p rng's state.
+ */
+void emitGather(std::vector<MicroOp> &out, const LoopSpec &spec,
+                uint64_t table_base, uint64_t window_lo_line,
+                uint64_t window_lines, uint64_t count, Rng &rng,
+                bool write);
+
+/** Reduction over two arrays: read a[i], read b[i], ALU work. */
+void emitReduce(std::vector<MicroOp> &out, const LoopSpec &spec,
+                uint64_t a_base, uint64_t b_base, uint64_t stride_bytes,
+                Range range);
+
+/** Pure compute: @p count ALU ops, segmented into chunks. */
+void emitAlu(std::vector<MicroOp> &out, const LoopSpec &spec,
+             uint64_t count);
+
+/**
+ * Deterministic multiplicative length wobble in
+ * [1 - amplitude, 1 + amplitude], keyed by (seed, key). Used to vary
+ * region lengths across iterations of the same phase so that the
+ * multiplier-scaling step of the reconstruction has work to do.
+ */
+double lengthWobble(uint64_t seed, uint64_t key, double amplitude);
+
+} // namespace bp
+
+#endif // BP_WORKLOADS_PATTERNS_H

@@ -1,0 +1,45 @@
+#include "src/workloads/registry.h"
+
+#include "src/support/logging.h"
+#include "src/workloads/factories.h"
+
+namespace bp {
+
+std::vector<std::string>
+workloadNames()
+{
+    return {
+        "parsec-bodytrack",
+        "npb-bt",
+        "npb-cg",
+        "npb-ft",
+        "npb-is",
+        "npb-lu",
+        "npb-mg",
+        "npb-sp",
+    };
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadParams &params)
+{
+    if (name == "parsec-bodytrack")
+        return makeBodytrack(params);
+    if (name == "npb-bt")
+        return makeNpbBt(params);
+    if (name == "npb-cg")
+        return makeNpbCg(params);
+    if (name == "npb-ft")
+        return makeNpbFt(params);
+    if (name == "npb-is")
+        return makeNpbIs(params);
+    if (name == "npb-lu")
+        return makeNpbLu(params);
+    if (name == "npb-mg")
+        return makeNpbMg(params);
+    if (name == "npb-sp")
+        return makeNpbSp(params);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace bp

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Name-based workload registry.
+ */
+
+#ifndef BP_WORKLOADS_REGISTRY_H
+#define BP_WORKLOADS_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace bp {
+
+/** @return the names of the paper's benchmarks, in the paper's order. */
+std::vector<std::string> workloadNames();
+
+/**
+ * Instantiate a workload by name.
+ *
+ * Valid names are the entries of workloadNames(): parsec-bodytrack,
+ * npb-bt, npb-cg, npb-ft, npb-is, npb-lu, npb-mg, npb-sp.
+ * Calls fatal() on an unknown name.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const WorkloadParams &params);
+
+} // namespace bp
+
+#endif // BP_WORKLOADS_REGISTRY_H

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Tiny configurable workload for unit and property tests.
+ */
+
+#ifndef BP_WORKLOADS_TEST_WORKLOAD_H
+#define BP_WORKLOADS_TEST_WORKLOAD_H
+
+#include <memory>
+
+#include "src/workloads/workload.h"
+
+namespace bp {
+
+/** Configuration of the test workload's phase cycle. */
+struct TestWorkloadSpec
+{
+    unsigned regions = 13;        ///< total region count
+    unsigned phases = 3;          ///< phase types cycling after region 0
+    uint64_t elemsPerRegion = 64; ///< elements per region per phase
+    uint64_t footprintLines = 512;///< per-phase array size
+    double wobble = 0.0;          ///< length wobble amplitude
+};
+
+/**
+ * A miniature barrier-synchronized application: region 0 initializes,
+ * then regions cycle through `phases` distinct phase types, each with
+ * its own basic blocks, array and compute mix. Deterministic and
+ * cheap — suitable for exhaustive unit tests of the full pipeline.
+ */
+std::unique_ptr<Workload> makeTestWorkload(const WorkloadParams &params,
+                                           const TestWorkloadSpec &spec);
+
+} // namespace bp
+
+#endif // BP_WORKLOADS_TEST_WORKLOAD_H

@@ -1,0 +1,37 @@
+#include "src/workloads/workload.h"
+
+#include <algorithm>
+
+#include "src/support/logging.h"
+#include "src/support/rng.h"
+
+namespace bp {
+
+Workload::Workload(std::string name, const WorkloadParams &params)
+    : name_(std::move(name)), params_(params)
+{
+    BP_ASSERT(params_.threads >= 1 && params_.threads <= 32,
+              "thread count must be in [1, 32]");
+    BP_ASSERT(params_.scale > 0.0, "scale must be positive");
+    uint64_t name_hash = 0xcbf29ce484222325ull;
+    for (const char c : name_)
+        name_hash = (name_hash ^ static_cast<uint8_t>(c)) * 0x100000001b3ull;
+    addressWindow_ = (name_hash & 0x3F) << 38;
+}
+
+uint64_t
+Workload::scaled(uint64_t count) const
+{
+    const auto value =
+        static_cast<uint64_t>(static_cast<double>(count) * params_.scale);
+    return std::max<uint64_t>(4, value);
+}
+
+uint64_t
+Workload::arrayBase(unsigned array_id) const
+{
+    return addressWindow_ + (static_cast<uint64_t>(array_id) + 1) *
+        (1ull << 28);
+}
+
+} // namespace bp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Workload interface: deterministic barrier-synchronized applications.
+ *
+ * A Workload stands in for an instrumented OpenMP application binary.
+ * It exposes the application as a sequence of inter-barrier regions;
+ * generateRegion(i) deterministically regenerates the full dynamic
+ * instruction stream of region i for every thread. Determinism is the
+ * checkpoint mechanism of this library: simulating region i in
+ * isolation is equivalent to loading an architected-state checkpoint
+ * taken at barrier i.
+ *
+ * Barrier counts are thread-count invariant (Figure 1 of the paper):
+ * the same total work is partitioned over however many threads the
+ * workload is instantiated with.
+ */
+
+#ifndef BP_WORKLOADS_WORKLOAD_H
+#define BP_WORKLOADS_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/region_trace.h"
+
+namespace bp {
+
+/** Instantiation parameters common to all workloads. */
+struct WorkloadParams
+{
+    unsigned threads = 8;   ///< thread count (== simulated core count)
+    double scale = 1.0;     ///< work multiplier (tests use small values)
+    uint64_t seed = 12345;  ///< base seed for data-dependent patterns
+};
+
+/** A barrier-synchronized application exposed as replayable regions. */
+class Workload
+{
+  public:
+    Workload(std::string name, const WorkloadParams &params);
+    virtual ~Workload() = default;
+
+    Workload(const Workload &) = delete;
+    Workload &operator=(const Workload &) = delete;
+
+    const std::string &name() const { return name_; }
+    unsigned threadCount() const { return params_.threads; }
+    const WorkloadParams &params() const { return params_; }
+
+    /** Number of inter-barrier regions (== dynamic barrier count). */
+    virtual unsigned regionCount() const = 0;
+
+    /** Regenerate the dynamic instruction streams of region @p index. */
+    virtual RegionTrace generateRegion(unsigned index) const = 0;
+
+  protected:
+    /** Scale an element count by params().scale (at least 4). */
+    uint64_t scaled(uint64_t count) const;
+
+    /**
+     * Byte base address of this workload's array @p array_id.
+     * Arrays are spaced 256 MB apart in a workload-specific window,
+     * so distinct arrays never alias.
+     */
+    uint64_t arrayBase(unsigned array_id) const;
+
+  private:
+    std::string name_;
+    WorkloadParams params_;
+    uint64_t addressWindow_;
+};
+
+} // namespace bp
+
+#endif // BP_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for weighted k-means clustering and BIC model selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/kmeans.h"
+#include "src/support/rng.h"
+
+namespace bp {
+namespace {
+
+/** Generate n points around each of the given 2-D centres. */
+std::vector<std::vector<double>>
+blobs(const std::vector<std::pair<double, double>> &centres, unsigned n,
+      double spread, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> points;
+    for (const auto &[cx, cy] : centres) {
+        for (unsigned i = 0; i < n; ++i) {
+            points.push_back({cx + spread * rng.nextGaussian(),
+                              cy + spread * rng.nextGaussian()});
+        }
+    }
+    return points;
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsWeightedMean)
+{
+    const std::vector<std::vector<double>> points{{0.0}, {10.0}};
+    const std::vector<double> weights{1.0, 3.0};
+    const auto result = kmeansCluster(points, weights, 1, 7);
+    ASSERT_EQ(result.centroids.size(), 1u);
+    EXPECT_NEAR(result.centroids[0][0], 7.5, 1e-9);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters)
+{
+    const auto points = blobs({{0, 0}, {100, 0}, {0, 100}}, 20, 1.0, 3);
+    const std::vector<double> weights(points.size(), 1.0);
+    const auto result = kmeansCluster(points, weights, 3, 11);
+    // All points of one blob share an assignment.
+    for (unsigned blob = 0; blob < 3; ++blob) {
+        const unsigned first = result.assignment[blob * 20];
+        for (unsigned i = 1; i < 20; ++i)
+            EXPECT_EQ(result.assignment[blob * 20 + i], first);
+    }
+    EXPECT_LT(result.weightedSse / points.size(), 10.0);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroSse)
+{
+    const auto points = blobs({{0, 0}, {5, 5}}, 2, 1.0, 9);
+    const std::vector<double> weights(points.size(), 1.0);
+    const auto result =
+        kmeansCluster(points, weights, static_cast<unsigned>(points.size()),
+                      13);
+    EXPECT_NEAR(result.weightedSse, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, DeterministicForSeed)
+{
+    const auto points = blobs({{0, 0}, {50, 50}}, 30, 2.0, 21);
+    const std::vector<double> weights(points.size(), 1.0);
+    const auto a = kmeansCluster(points, weights, 2, 5);
+    const auto b = kmeansCluster(points, weights, 2, 5);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.weightedSse, b.weightedSse);
+}
+
+TEST(KMeansTest, HeavyWeightPullsCentroid)
+{
+    const std::vector<std::vector<double>> points{{0.0}, {1.0}, {100.0}};
+    const std::vector<double> light{1.0, 1.0, 1.0};
+    const std::vector<double> heavy{100.0, 1.0, 1.0};
+    const auto rl = kmeansCluster(points, light, 1, 3);
+    const auto rh = kmeansCluster(points, heavy, 1, 3);
+    EXPECT_LT(rh.centroids[0][0], rl.centroids[0][0]);
+}
+
+TEST(KMeansTest, IdenticalPointsAreFine)
+{
+    const std::vector<std::vector<double>> points(5, {1.0, 2.0});
+    const std::vector<double> weights(5, 1.0);
+    const auto result = kmeansCluster(points, weights, 3, 17);
+    EXPECT_NEAR(result.weightedSse, 0.0, 1e-12);
+}
+
+TEST(BicTest, PrefersTrueKOnSeparatedBlobs)
+{
+    const auto points = blobs({{0, 0}, {100, 0}, {0, 100}, {70, 70}},
+                              25, 1.5, 31);
+    const std::vector<double> weights(points.size(), 1.0);
+    ClusteringConfig cfg;
+    cfg.maxK = 10;
+    cfg.seed = 4;
+    const auto result = clusterSignatures(points, weights, cfg);
+    // The BIC-threshold rule must land at (or very near) 4 clusters.
+    EXPECT_GE(result.best.k, 4u);
+    EXPECT_LE(result.best.k, 5u);
+    ASSERT_EQ(result.bicByK.size(), 10u);
+    // BIC at the true k must beat BIC at k=1.
+    EXPECT_GT(result.bicByK[3], result.bicByK[0]);
+}
+
+TEST(BicTest, SingleBlobChoosesFewClusters)
+{
+    const auto points = blobs({{0, 0}}, 60, 1.0, 41);
+    const std::vector<double> weights(points.size(), 1.0);
+    ClusteringConfig cfg;
+    cfg.maxK = 8;
+    const auto result = clusterSignatures(points, weights, cfg);
+    EXPECT_LE(result.best.k, 3u);
+}
+
+TEST(BicTest, MaxKClampedToPointCount)
+{
+    const std::vector<std::vector<double>> points{{0.0}, {1.0}, {2.0}};
+    const std::vector<double> weights(3, 1.0);
+    ClusteringConfig cfg;
+    cfg.maxK = 20;
+    const auto result = clusterSignatures(points, weights, cfg);
+    EXPECT_LE(result.best.k, 3u);
+    EXPECT_EQ(result.bicByK.size(), 3u);
+}
+
+TEST(BicTest, ScoreComputesFiniteValues)
+{
+    const auto points = blobs({{0, 0}, {10, 10}}, 10, 0.5, 51);
+    const std::vector<double> weights(points.size(), 2.0);
+    const auto km = kmeansCluster(points, weights, 2, 9);
+    const double score = bicScore(points, weights, km);
+    EXPECT_TRUE(std::isfinite(score));
+}
+
+} // namespace
+} // namespace bp

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Unit tests for the coherent multi-socket memory hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/memsys/mem_system.h"
+#include "src/support/rng.h"
+#include "src/trace/micro_op.h"
+
+namespace bp {
+namespace {
+
+MemSystemConfig
+config8()
+{
+    MemSystemConfig c;
+    c.numCores = 8;
+    c.coresPerSocket = 8;
+    return c;
+}
+
+MemSystemConfig
+config32()
+{
+    MemSystemConfig c;
+    c.numCores = 32;
+    c.coresPerSocket = 8;
+    return c;
+}
+
+uint64_t
+addrOfLine(uint64_t line)
+{
+    return line << kLineShift;
+}
+
+TEST(MemSystemTest, SocketMapping)
+{
+    MemSystem m(config32());
+    EXPECT_EQ(m.socketOf(0), 0u);
+    EXPECT_EQ(m.socketOf(7), 0u);
+    EXPECT_EQ(m.socketOf(8), 1u);
+    EXPECT_EQ(m.socketOf(31), 3u);
+    EXPECT_EQ(m.config().numSockets(), 4u);
+}
+
+TEST(MemSystemTest, ColdMissGoesToDram)
+{
+    MemSystem m(config8());
+    const auto r = m.access(0, addrOfLine(100), false, 0.0);
+    EXPECT_EQ(r.level, MemLevel::Dram);
+    EXPECT_GE(r.latency, m.config().dramLatency);
+    EXPECT_EQ(m.stats().dramReads, 1u);
+    EXPECT_EQ(m.stats().llcMisses, 1u);
+}
+
+TEST(MemSystemTest, SecondAccessHitsL1)
+{
+    MemSystem m(config8());
+    m.access(0, addrOfLine(100), false, 0.0);
+    const auto r = m.access(0, addrOfLine(100), false, 10.0);
+    EXPECT_EQ(r.level, MemLevel::L1);
+    EXPECT_DOUBLE_EQ(r.latency, m.config().l1d.latency);
+    EXPECT_EQ(m.stats().l1Hits, 1u);
+}
+
+TEST(MemSystemTest, SameLineDifferentOffsetHits)
+{
+    MemSystem m(config8());
+    m.access(0, addrOfLine(100), false, 0.0);
+    const auto r = m.access(0, addrOfLine(100) + 32, false, 1.0);
+    EXPECT_EQ(r.level, MemLevel::L1);
+}
+
+TEST(MemSystemTest, CrossCoreSharingHitsL3)
+{
+    MemSystem m(config8());
+    m.access(0, addrOfLine(100), false, 0.0);
+    const auto r = m.access(1, addrOfLine(100), false, 0.0);
+    EXPECT_EQ(r.level, MemLevel::L3);
+    EXPECT_EQ(m.stats().l3Hits, 1u);
+    EXPECT_EQ(m.stats().dramReads, 1u);  // only the first access
+}
+
+TEST(MemSystemTest, WriteMakesLineModified)
+{
+    MemSystem m(config8());
+    m.access(0, addrOfLine(100), true, 0.0);
+    EXPECT_EQ(m.l1State(0, 100), LineState::Modified);
+}
+
+TEST(MemSystemTest, ReadFillsShared)
+{
+    MemSystem m(config8());
+    m.access(0, addrOfLine(100), false, 0.0);
+    EXPECT_EQ(m.l1State(0, 100), LineState::Shared);
+}
+
+TEST(MemSystemTest, UpgradeOnWriteToSharedLine)
+{
+    MemSystem m(config8());
+    m.access(0, addrOfLine(100), false, 0.0);
+    const auto r = m.access(0, addrOfLine(100), true, 1.0);
+    EXPECT_EQ(r.level, MemLevel::L1);
+    EXPECT_GT(r.latency, m.config().l1d.latency);
+    EXPECT_EQ(m.stats().upgrades, 1u);
+    EXPECT_EQ(m.l1State(0, 100), LineState::Modified);
+}
+
+TEST(MemSystemTest, WriteInvalidatesOtherCores)
+{
+    MemSystem m(config8());
+    m.access(0, addrOfLine(100), false, 0.0);
+    m.access(1, addrOfLine(100), false, 0.0);
+    m.access(2, addrOfLine(100), true, 0.0);
+    EXPECT_GE(m.stats().invalidations, 2u);
+    EXPECT_EQ(m.l1State(0, 100), LineState::Invalid);
+    EXPECT_EQ(m.l1State(1, 100), LineState::Invalid);
+    EXPECT_EQ(m.l1State(2, 100), LineState::Modified);
+}
+
+TEST(MemSystemTest, ReadOfRemoteModifiedDowngradesOwner)
+{
+    MemSystem m(config8());
+    m.access(0, addrOfLine(100), true, 0.0);   // core 0 owns Modified
+    const auto r = m.access(1, addrOfLine(100), false, 0.0);
+    EXPECT_EQ(m.l1State(0, 100), LineState::Shared);
+    EXPECT_EQ(m.l1State(1, 100), LineState::Shared);
+    EXPECT_GT(r.latency, static_cast<double>(m.config().l3.latency));
+}
+
+TEST(MemSystemTest, WriteAfterDowngradeUpgradesAgain)
+{
+    MemSystem m(config8());
+    m.access(0, addrOfLine(100), true, 0.0);
+    m.access(1, addrOfLine(100), false, 0.0);
+    m.access(0, addrOfLine(100), true, 0.0);
+    EXPECT_EQ(m.l1State(0, 100), LineState::Modified);
+    EXPECT_EQ(m.l1State(1, 100), LineState::Invalid);
+}
+
+TEST(MemSystemTest, RemoteSocketHit)
+{
+    MemSystem m(config32());
+    m.access(0, addrOfLine(100), false, 0.0);   // socket 0
+    const auto r = m.access(8, addrOfLine(100), false, 0.0);  // socket 1
+    EXPECT_EQ(r.level, MemLevel::RemoteCache);
+    EXPECT_EQ(m.stats().remoteHits, 1u);
+    EXPECT_EQ(m.stats().dramReads, 1u);
+}
+
+TEST(MemSystemTest, CrossSocketWriteInvalidatesRemoteL3)
+{
+    MemSystem m(config32());
+    m.access(0, addrOfLine(100), false, 0.0);
+    m.access(8, addrOfLine(100), true, 0.0);   // socket 1 writes
+    // Core 0's copy and socket 0's L3 copy must both be gone.
+    EXPECT_EQ(m.l1State(0, 100), LineState::Invalid);
+    const auto r = m.access(1, addrOfLine(100), false, 0.0);
+    EXPECT_NE(r.level, MemLevel::L3);  // socket 0's L3 lost the line
+}
+
+TEST(MemSystemTest, L1CapacityEviction)
+{
+    MemSystem m(config8());
+    const auto &l1 = m.config().l1d;
+    const uint64_t lines = l1.numLines();
+    for (uint64_t i = 0; i < lines + l1.numSets(); ++i)
+        m.access(0, addrOfLine(i), false, 0.0);
+    EXPECT_EQ(m.l1Occupancy(0), lines);
+    // Evicted-from-L1 lines are still in the inclusive L2.
+    EXPECT_GT(m.l2Occupancy(0), lines);
+}
+
+TEST(MemSystemTest, DramWriteOnDirtyL3Eviction)
+{
+    MemSystemConfig cfg = config8();
+    // Shrink L3 to force evictions quickly.
+    cfg.l3 = CacheGeometry{64 * 1024, 4, 30};
+    MemSystem m(cfg);
+    const uint64_t l3_lines = cfg.l3.numLines();
+    // Dirty a full L3 worth of lines, then stream far past capacity.
+    for (uint64_t i = 0; i < l3_lines; ++i)
+        m.access(0, addrOfLine(i), true, 0.0);
+    for (uint64_t i = l3_lines; i < 4 * l3_lines; ++i)
+        m.access(0, addrOfLine(i), false, 0.0);
+    EXPECT_GT(m.stats().dramWrites, 0u);
+}
+
+TEST(MemSystemTest, InclusionOnL3Eviction)
+{
+    MemSystemConfig cfg = config8();
+    cfg.l3 = CacheGeometry{16 * 1024, 2, 30};  // 128 sets x 2 ways
+    MemSystem m(cfg);
+    // Three lines in the same L3 set; the third evicts the first.
+    const uint64_t set_stride = cfg.l3.numSets();
+    m.access(0, addrOfLine(0), false, 0.0);
+    m.access(0, addrOfLine(set_stride), false, 0.0);
+    m.access(0, addrOfLine(2 * set_stride), false, 0.0);
+    // Line 0 must have left core 0's private caches too (inclusion).
+    EXPECT_EQ(m.l1State(0, 0), LineState::Invalid);
+}
+
+TEST(MemSystemTest, BandwidthQueueingAddsLatency)
+{
+    MemSystem m(config8());
+    m.beginRegion(8);
+    // Back-to-back DRAM reads at the same local time must queue.
+    const auto first = m.access(0, addrOfLine(1000), false, 0.0);
+    const auto second = m.access(0, addrOfLine(2000), false, 0.0);
+    EXPECT_GT(second.latency, first.latency);
+}
+
+TEST(MemSystemTest, BeginRegionDrainsQueues)
+{
+    MemSystem m(config8());
+    m.beginRegion(8);
+    m.access(0, addrOfLine(1000), false, 0.0);
+    m.access(0, addrOfLine(2000), false, 0.0);
+    m.beginRegion(8);
+    const auto r = m.access(0, addrOfLine(3000), false, 0.0);
+    EXPECT_DOUBLE_EQ(r.latency, m.config().dramLatency);
+}
+
+TEST(MemSystemTest, InstallFunctionalHasNoStatEffects)
+{
+    MemSystem m(config8());
+    m.installFunctional(0, 100);
+    EXPECT_EQ(m.stats().accesses, 0u);
+    EXPECT_EQ(m.stats().dramReads, 0u);
+    const auto r = m.access(0, addrOfLine(100), false, 0.0);
+    EXPECT_EQ(r.level, MemLevel::L1);
+}
+
+TEST(MemSystemTest, InstallFunctionalWrittenGivesModified)
+{
+    MemSystem m(config8());
+    m.installFunctional(0, 100, true);
+    EXPECT_EQ(m.l1State(0, 100), LineState::Modified);
+    // A write hit needs no upgrade.
+    m.access(0, addrOfLine(100), true, 0.0);
+    EXPECT_EQ(m.stats().upgrades, 0u);
+}
+
+TEST(MemSystemTest, InstallFunctionalWrittenInvalidatesOthers)
+{
+    MemSystem m(config8());
+    m.installFunctional(0, 100, false);
+    m.installFunctional(1, 100, true);
+    EXPECT_EQ(m.l1State(0, 100), LineState::Invalid);
+    EXPECT_EQ(m.l1State(1, 100), LineState::Modified);
+}
+
+TEST(MemSystemTest, InstallFunctionalLlcDirtyWritesBackOnEviction)
+{
+    MemSystemConfig cfg = config8();
+    cfg.l3 = CacheGeometry{16 * 1024, 2, 30};
+    MemSystem m(cfg);
+    m.installFunctional(0, 0, false, true);
+    // Force the line out of L3 by filling its set.
+    const uint64_t set_stride = cfg.l3.numSets();
+    m.access(0, addrOfLine(set_stride), false, 0.0);
+    m.access(0, addrOfLine(2 * set_stride), false, 0.0);
+    m.access(0, addrOfLine(3 * set_stride), false, 0.0);
+    EXPECT_GT(m.stats().dramWrites, 0u);
+}
+
+TEST(MemSystemTest, ResetClearsEverything)
+{
+    MemSystem m(config8());
+    m.access(0, addrOfLine(1), true, 0.0);
+    m.reset();
+    EXPECT_EQ(m.stats().accesses, 0u);
+    EXPECT_EQ(m.l1Occupancy(0), 0u);
+    const auto r = m.access(0, addrOfLine(1), false, 0.0);
+    EXPECT_EQ(r.level, MemLevel::Dram);
+}
+
+TEST(MemSystemTest, StatsDelta)
+{
+    MemSystem m(config8());
+    m.access(0, addrOfLine(1), false, 0.0);
+    const MemStats snap = m.stats();
+    m.access(0, addrOfLine(1), false, 0.0);
+    m.access(0, addrOfLine(2), false, 0.0);
+    const MemStats d = m.stats().delta(snap);
+    EXPECT_EQ(d.accesses, 2u);
+    EXPECT_EQ(d.l1Hits, 1u);
+    EXPECT_EQ(d.dramReads, 1u);
+}
+
+TEST(MemSystemTest, LevelNames)
+{
+    EXPECT_STREQ(memLevelName(MemLevel::L1), "L1");
+    EXPECT_STREQ(memLevelName(MemLevel::Dram), "dram");
+}
+
+/** Coherence invariant sweep: random accesses from random cores. */
+class CoherenceRandomTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(CoherenceRandomTest, SingleWriterInvariant)
+{
+    const unsigned cores = GetParam();
+    MemSystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.coresPerSocket = cores < 8 ? cores : 8;
+    MemSystem m(cfg);
+
+    uint64_t seed = 7 + cores;
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t line = splitMix64(seed) % 32;
+        const unsigned core =
+            static_cast<unsigned>(splitMix64(seed) % cores);
+        const bool write = (splitMix64(seed) & 3) == 0;
+        m.access(core, addrOfLine(line), write, 0.0);
+
+        // Invariant: a Modified copy excludes all other copies.
+        unsigned modified_holders = 0, holders = 0;
+        for (unsigned c = 0; c < cores; ++c) {
+            const LineState s = m.l1State(c, line);
+            if (s == LineState::Modified)
+                ++modified_holders;
+            if (s != LineState::Invalid)
+                ++holders;
+        }
+        ASSERT_LE(modified_holders, 1u);
+        if (modified_holders == 1)
+            ASSERT_EQ(holders, 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, CoherenceRandomTest,
+                         ::testing::Values(2u, 8u, 32u));
+
+} // namespace
+} // namespace bp

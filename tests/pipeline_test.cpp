@@ -1,0 +1,179 @@
+/**
+ * @file
+ * End-to-end pipeline tests on the miniature test workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "src/support/stats.h"
+#include "src/workloads/test_workload.h"
+
+namespace bp {
+namespace {
+
+std::unique_ptr<Workload>
+smallWorkload(unsigned threads = 2, unsigned regions = 13,
+              unsigned phases = 3, double wobble = 0.0)
+{
+    WorkloadParams params;
+    params.threads = threads;
+    TestWorkloadSpec spec;
+    spec.regions = regions;
+    spec.phases = phases;
+    spec.elemsPerRegion = 128;
+    spec.footprintLines = 256;
+    spec.wobble = wobble;
+    return makeTestWorkload(params, spec);
+}
+
+TEST(PipelineTest, ProfileProducesOneProfilePerRegion)
+{
+    const auto wl = smallWorkload();
+    const auto profiles = profileWorkload(*wl);
+    ASSERT_EQ(profiles.size(), wl->regionCount());
+    for (unsigned r = 0; r < profiles.size(); ++r) {
+        EXPECT_EQ(profiles[r].regionIndex, r);
+        EXPECT_GT(profiles[r].instructions(), 0u);
+        EXPECT_EQ(profiles[r].threads.size(), wl->threadCount());
+    }
+}
+
+TEST(PipelineTest, AnalysisFindsThePhaseStructure)
+{
+    const auto wl = smallWorkload(2, 16, 3);
+    const auto analysis = analyzeWorkload(*wl);
+    // 3 phases + 1 init region: the clustering must find a compact
+    // representation, far fewer points than regions.
+    EXPECT_GE(analysis.points.size(), 3u);
+    EXPECT_LE(analysis.points.size(), 8u);
+    EXPECT_EQ(analysis.numRegions(), 16u);
+    // Every region maps to a point of its own cluster.
+    for (size_t i = 0; i < analysis.regionToPoint.size(); ++i)
+        ASSERT_LT(analysis.regionToPoint[i], analysis.points.size());
+}
+
+TEST(PipelineTest, MultipliersReconstructTotalInstructions)
+{
+    const auto wl = smallWorkload(2, 19, 3, 0.25);
+    const auto analysis = analyzeWorkload(*wl);
+    double reconstructed = 0.0;
+    for (const auto &pt : analysis.points)
+        reconstructed += pt.multiplier *
+            static_cast<double>(pt.instructions);
+    EXPECT_NEAR(reconstructed,
+                static_cast<double>(analysis.totalInstructions()),
+                1e-6 * static_cast<double>(analysis.totalInstructions()));
+}
+
+TEST(PipelineTest, PerfectWarmupReconstructionIsAccurate)
+{
+    const auto wl = smallWorkload(2, 25, 3);
+    const auto machine = MachineConfig::withCores(2);
+    const auto analysis = analyzeWorkload(*wl);
+    const auto reference = runReference(*wl, machine);
+    const auto stats = perfectWarmupStats(analysis, reference);
+    const auto estimate = reconstruct(analysis, stats);
+    EXPECT_LT(percentAbsError(estimate.totalCycles,
+                              reference.totalCycles()),
+              6.0);
+}
+
+TEST(PipelineTest, MruWarmupCloseToReference)
+{
+    const auto wl = smallWorkload(2, 25, 3);
+    const auto machine = MachineConfig::withCores(2);
+    const auto analysis = analyzeWorkload(*wl);
+    const auto reference = runReference(*wl, machine);
+    const auto stats = simulateBarrierPoints(*wl, machine, analysis,
+                                             WarmupPolicy::MruReplay);
+    const auto estimate = reconstruct(analysis, stats);
+    EXPECT_LT(percentAbsError(estimate.totalCycles,
+                              reference.totalCycles()),
+              10.0);
+}
+
+TEST(PipelineTest, ColdWarmupIsWorseThanMru)
+{
+    const auto wl = smallWorkload(2, 25, 3);
+    const auto machine = MachineConfig::withCores(2);
+    const auto analysis = analyzeWorkload(*wl);
+    const auto reference = runReference(*wl, machine);
+    const auto mru = reconstruct(
+        analysis, simulateBarrierPoints(*wl, machine, analysis,
+                                        WarmupPolicy::MruReplay));
+    const auto cold = reconstruct(
+        analysis, simulateBarrierPoints(*wl, machine, analysis,
+                                        WarmupPolicy::Cold));
+    const double mru_err =
+        percentAbsError(mru.totalCycles, reference.totalCycles());
+    const double cold_err =
+        percentAbsError(cold.totalCycles, reference.totalCycles());
+    EXPECT_LT(mru_err, cold_err);
+}
+
+TEST(PipelineTest, SnapshotsAlignWithRequestedRegions)
+{
+    const auto wl = smallWorkload(2, 10, 3);
+    const std::vector<uint32_t> regions{0, 4, 9};
+    const auto snaps = captureMruSnapshots(*wl, regions, 4096);
+    ASSERT_EQ(snaps.size(), 3u);
+    // Region 0 starts cold: empty snapshot.
+    for (const auto &core_lines : snaps[0])
+        EXPECT_TRUE(core_lines.empty());
+    // Later regions have accumulated state.
+    EXPECT_FALSE(snaps[1][0].empty());
+    EXPECT_FALSE(snaps[2][0].empty());
+    // More history cannot shrink below the earlier snapshot (capacity
+    // is far larger than the footprint here).
+    EXPECT_GE(snaps[2][0].size(), snaps[1][0].size());
+}
+
+TEST(PipelineTest, AnalyzeProfilesAllowsSignatureSweeps)
+{
+    const auto wl = smallWorkload(2, 16, 3);
+    const auto profiles = profileWorkload(*wl);
+    for (const SignatureKind kind :
+         {SignatureKind::Bbv, SignatureKind::Ldv,
+          SignatureKind::Combined}) {
+        BarrierPointOptions options;
+        options.signature.kind = kind;
+        const auto analysis = analyzeProfiles(profiles, options);
+        EXPECT_GE(analysis.points.size(), 1u);
+        EXPECT_LE(analysis.points.size(), 16u);
+    }
+}
+
+TEST(PipelineTest, MaxKOneSelectsSinglePoint)
+{
+    const auto wl = smallWorkload(2, 16, 3);
+    BarrierPointOptions options;
+    options.clustering.maxK = 1;
+    const auto analysis = analyzeWorkload(*wl, options);
+    EXPECT_EQ(analysis.points.size(), 1u);
+    EXPECT_NEAR(analysis.points[0].weightFraction, 1.0, 1e-12);
+}
+
+TEST(PipelineTest, DeterministicEndToEnd)
+{
+    const auto wl = smallWorkload(2, 16, 3);
+    const auto a = analyzeWorkload(*wl);
+    const auto b = analyzeWorkload(*wl);
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (size_t i = 0; i < a.points.size(); ++i) {
+        EXPECT_EQ(a.points[i].region, b.points[i].region);
+        EXPECT_DOUBLE_EQ(a.points[i].multiplier, b.points[i].multiplier);
+    }
+}
+
+TEST(PipelineTest, SpeedupsAreConsistent)
+{
+    const auto wl = smallWorkload(2, 31, 3);
+    const auto analysis = analyzeWorkload(*wl);
+    EXPECT_GE(analysis.serialSpeedup(), 1.0);
+    EXPECT_GE(analysis.parallelSpeedup(), analysis.serialSpeedup());
+    EXPECT_GE(analysis.resourceReduction(), 1.0);
+}
+
+} // namespace
+} // namespace bp

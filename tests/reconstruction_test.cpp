@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for whole-program reconstruction from barrierpoint stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/reconstruction.h"
+
+namespace bp {
+namespace {
+
+/** Analysis where each of n regions is its own barrierpoint. */
+BarrierPointAnalysis
+identityAnalysis(const std::vector<uint64_t> &instr)
+{
+    BarrierPointAnalysis analysis;
+    analysis.regionInstructions = instr;
+    analysis.chosenK = static_cast<unsigned>(instr.size());
+    for (size_t i = 0; i < instr.size(); ++i) {
+        BarrierPoint pt;
+        pt.region = static_cast<uint32_t>(i);
+        pt.cluster = static_cast<unsigned>(i);
+        pt.multiplier = 1.0;
+        pt.instructions = instr[i];
+        pt.weightFraction = 1.0 / instr.size();
+        analysis.points.push_back(pt);
+        analysis.regionToPoint.push_back(static_cast<unsigned>(i));
+    }
+    return analysis;
+}
+
+RegionStats
+statsOf(uint32_t region, uint64_t instr, double cycles, uint64_t dram)
+{
+    RegionStats s;
+    s.regionIndex = region;
+    s.instructions = instr;
+    s.cycles = cycles;
+    s.mem.dramReads = dram;
+    return s;
+}
+
+TEST(ReconstructionTest, IdentityIsExact)
+{
+    const auto analysis = identityAnalysis({100, 200, 300});
+    const std::vector<RegionStats> stats{statsOf(0, 100, 1000.0, 5),
+                                         statsOf(1, 200, 2000.0, 10),
+                                         statsOf(2, 300, 3000.0, 15)};
+    const Estimate est = reconstruct(analysis, stats);
+    EXPECT_DOUBLE_EQ(est.totalCycles, 6000.0);
+    EXPECT_DOUBLE_EQ(est.totalInstructions, 600.0);
+    EXPECT_DOUBLE_EQ(est.dramAccesses, 30.0);
+    EXPECT_DOUBLE_EQ(est.dramApki(), 50.0);
+    EXPECT_DOUBLE_EQ(est.ipc(), 0.1);
+}
+
+TEST(ReconstructionTest, MultipliersScaleMetrics)
+{
+    BarrierPointAnalysis analysis;
+    analysis.regionInstructions = {100, 100, 100, 100};
+    BarrierPoint pt;
+    pt.region = 1;
+    pt.cluster = 0;
+    pt.multiplier = 4.0;
+    pt.instructions = 100;
+    pt.weightFraction = 1.0;
+    analysis.points = {pt};
+    analysis.regionToPoint = {0, 0, 0, 0};
+
+    const std::vector<RegionStats> stats{statsOf(1, 100, 500.0, 2)};
+    const Estimate est = reconstruct(analysis, stats);
+    EXPECT_DOUBLE_EQ(est.totalCycles, 2000.0);
+    EXPECT_DOUBLE_EQ(est.totalInstructions, 400.0);
+    EXPECT_DOUBLE_EQ(est.dramAccesses, 8.0);
+}
+
+TEST(ReconstructionTest, DisablingMultipliersCountsRegions)
+{
+    // Cluster has 3 regions of different lengths: 50, 100, 150.
+    BarrierPointAnalysis analysis;
+    analysis.regionInstructions = {50, 100, 150};
+    BarrierPoint pt;
+    pt.region = 1;
+    pt.cluster = 0;
+    pt.multiplier = 3.0;  // (50+100+150)/100
+    pt.instructions = 100;
+    pt.weightFraction = 1.0;
+    analysis.points = {pt};
+    analysis.regionToPoint = {0, 0, 0};
+
+    const std::vector<RegionStats> stats{statsOf(1, 100, 1000.0, 0)};
+    const Estimate scaled = reconstruct(analysis, stats, true);
+    const Estimate unscaled = reconstruct(analysis, stats, false);
+    EXPECT_DOUBLE_EQ(scaled.totalCycles, 3000.0);
+    EXPECT_DOUBLE_EQ(unscaled.totalCycles, 3000.0);  // 3 regions x 1000
+
+    // With a length-atypical representative the two diverge.
+    analysis.points[0].multiplier = 300.0 / 50.0;
+    analysis.points[0].instructions = 50;
+    analysis.points[0].region = 0;
+    const std::vector<RegionStats> rep{statsOf(0, 50, 500.0, 0)};
+    const Estimate s2 = reconstruct(analysis, rep, true);
+    const Estimate u2 = reconstruct(analysis, rep, false);
+    EXPECT_DOUBLE_EQ(s2.totalCycles, 3000.0);
+    EXPECT_DOUBLE_EQ(u2.totalCycles, 1500.0);  // underestimates
+}
+
+TEST(ReconstructionTest, TimelineScalesRepresentativeDurations)
+{
+    BarrierPointAnalysis analysis;
+    analysis.regionInstructions = {100, 200};
+    BarrierPoint pt;
+    pt.region = 0;
+    pt.cluster = 0;
+    pt.multiplier = 3.0;
+    pt.instructions = 100;
+    pt.weightFraction = 1.0;
+    analysis.points = {pt};
+    analysis.regionToPoint = {0, 0};
+
+    const std::vector<RegionStats> stats{statsOf(0, 100, 1000.0, 0)};
+    const auto timeline = reconstructTimeline(analysis, stats);
+    ASSERT_EQ(timeline.size(), 2u);
+    EXPECT_DOUBLE_EQ(timeline[0].cycles, 1000.0);
+    EXPECT_DOUBLE_EQ(timeline[1].cycles, 2000.0);  // 200/100 scaled
+    EXPECT_DOUBLE_EQ(timeline[1].startCycle, 1000.0);
+    EXPECT_TRUE(timeline[0].isBarrierPoint);
+    EXPECT_FALSE(timeline[1].isBarrierPoint);
+    EXPECT_DOUBLE_EQ(timeline[0].ipc, timeline[1].ipc);
+}
+
+TEST(ReconstructionTest, PerfectWarmupStatsPicksBarrierpointRegions)
+{
+    const auto analysis = identityAnalysis({10, 20});
+    RunResult run;
+    run.regions = {statsOf(0, 10, 100.0, 1), statsOf(1, 20, 200.0, 2)};
+    const auto stats = perfectWarmupStats(analysis, run);
+    ASSERT_EQ(stats.size(), 2u);
+    EXPECT_DOUBLE_EQ(stats[0].cycles, 100.0);
+    EXPECT_DOUBLE_EQ(stats[1].cycles, 200.0);
+}
+
+TEST(ReconstructionTest, EstimateZeroGuards)
+{
+    Estimate est;
+    EXPECT_DOUBLE_EQ(est.dramApki(), 0.0);
+    EXPECT_DOUBLE_EQ(est.ipc(), 0.0);
+}
+
+} // namespace
+} // namespace bp

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for barrierpoint selection: representatives, multipliers,
+ * significance, and the speedup model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/selection.h"
+
+namespace bp {
+namespace {
+
+/** Build a ClusteringResult directly from an assignment vector. */
+ClusteringResult
+madeClustering(const std::vector<unsigned> &assignment,
+               const std::vector<std::vector<double>> &points, unsigned k)
+{
+    ClusteringResult result;
+    result.best.k = k;
+    result.best.assignment = assignment;
+    result.best.centroids.assign(k, std::vector<double>(points[0].size(),
+                                                        0.0));
+    std::vector<double> count(k, 0.0);
+    for (size_t i = 0; i < points.size(); ++i) {
+        const unsigned c = assignment[i];
+        count[c] += 1.0;
+        for (size_t d = 0; d < points[i].size(); ++d)
+            result.best.centroids[c][d] += points[i][d];
+    }
+    for (unsigned c = 0; c < k; ++c) {
+        for (auto &v : result.best.centroids[c])
+            v /= std::max(1.0, count[c]);
+    }
+    return result;
+}
+
+TEST(SelectionTest, MultiplierReconstructsClusterInstructionCount)
+{
+    // Two clusters: {0,1,2} of length 100 each, {3} of length 50.
+    const std::vector<std::vector<double>> points{{0.0}, {0.0}, {0.0},
+                                                  {9.0}};
+    const std::vector<uint64_t> instr{100, 100, 100, 50};
+    const auto clustering = madeClustering({0, 0, 0, 1}, points, 2);
+    const auto analysis =
+        selectBarrierPoints(clustering, points, instr);
+
+    ASSERT_EQ(analysis.points.size(), 2u);
+    double reconstructed = 0.0;
+    for (const auto &pt : analysis.points)
+        reconstructed += pt.multiplier *
+            static_cast<double>(pt.instructions);
+    EXPECT_NEAR(reconstructed, 350.0, 1e-9);
+}
+
+TEST(SelectionTest, RepresentativeBelongsToItsCluster)
+{
+    const std::vector<std::vector<double>> points{{0.0}, {0.1}, {5.0},
+                                                  {5.1}};
+    const std::vector<uint64_t> instr{10, 10, 10, 10};
+    const auto clustering = madeClustering({0, 0, 1, 1}, points, 2);
+    const auto analysis = selectBarrierPoints(clustering, points, instr);
+    for (const auto &pt : analysis.points) {
+        EXPECT_EQ(clustering.best.assignment[pt.region], pt.cluster);
+    }
+}
+
+TEST(SelectionTest, NearTiesPickMedianOccurrence)
+{
+    // Five identical regions: the median (index 2) is the steady pick.
+    const std::vector<std::vector<double>> points(5, {1.0});
+    const std::vector<uint64_t> instr(5, 10);
+    const auto clustering = madeClustering({0, 0, 0, 0, 0}, points, 1);
+    const auto analysis = selectBarrierPoints(clustering, points, instr);
+    ASSERT_EQ(analysis.points.size(), 1u);
+    EXPECT_EQ(analysis.points[0].region, 2u);
+    EXPECT_DOUBLE_EQ(analysis.points[0].multiplier, 5.0);
+}
+
+TEST(SelectionTest, RegionToPointMapsEveryRegion)
+{
+    const std::vector<std::vector<double>> points{{0.0}, {5.0}, {0.1},
+                                                  {5.1}, {0.2}};
+    const std::vector<uint64_t> instr{10, 20, 10, 20, 10};
+    const auto clustering = madeClustering({0, 1, 0, 1, 0}, points, 2);
+    const auto analysis = selectBarrierPoints(clustering, points, instr);
+    ASSERT_EQ(analysis.regionToPoint.size(), 5u);
+    for (size_t i = 0; i < 5; ++i) {
+        const unsigned j = analysis.regionToPoint[i];
+        ASSERT_LT(j, analysis.points.size());
+        EXPECT_EQ(analysis.points[j].cluster,
+                  clustering.best.assignment[i]);
+    }
+}
+
+TEST(SelectionTest, SignificanceThreshold)
+{
+    // Cluster 1 carries ~0.05% of the instructions: insignificant.
+    std::vector<std::vector<double>> points(21, {0.0});
+    points[20] = {9.0};
+    std::vector<uint64_t> instr(21, 1000);
+    instr[20] = 10;
+    std::vector<unsigned> assignment(21, 0);
+    assignment[20] = 1;
+    const auto clustering = madeClustering(assignment, points, 2);
+    const auto analysis =
+        selectBarrierPoints(clustering, points, instr, 0.001);
+    ASSERT_EQ(analysis.points.size(), 2u);
+    EXPECT_EQ(analysis.numSignificant(), 1u);
+    unsigned insignificant = 0;
+    for (const auto &pt : analysis.points)
+        insignificant += pt.significant ? 0 : 1;
+    EXPECT_EQ(insignificant, 1u);
+}
+
+TEST(SelectionTest, WeightFractionsSumToOne)
+{
+    const std::vector<std::vector<double>> points{{0.0}, {1.0}, {2.0},
+                                                  {3.0}};
+    const std::vector<uint64_t> instr{10, 20, 30, 40};
+    const auto clustering = madeClustering({0, 0, 1, 1}, points, 2);
+    const auto analysis = selectBarrierPoints(clustering, points, instr);
+    double total = 0.0;
+    for (const auto &pt : analysis.points)
+        total += pt.weightFraction;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(SelectionTest, SpeedupModel)
+{
+    // 10 regions of 100 instructions; 2 barrierpoints of 100 each.
+    std::vector<std::vector<double>> points;
+    std::vector<unsigned> assignment;
+    for (unsigned i = 0; i < 10; ++i) {
+        points.push_back({i < 5 ? 0.0 : 9.0});
+        assignment.push_back(i < 5 ? 0 : 1);
+    }
+    const std::vector<uint64_t> instr(10, 100);
+    const auto clustering = madeClustering(assignment, points, 2);
+    const auto analysis = selectBarrierPoints(clustering, points, instr);
+
+    EXPECT_EQ(analysis.totalInstructions(), 1000u);
+    EXPECT_EQ(analysis.numRegions(), 10u);
+    // Serial: 1000 / (100 + 100) = 5; parallel: 1000 / 100 = 10.
+    EXPECT_NEAR(analysis.serialSpeedup(), 5.0, 1e-12);
+    EXPECT_NEAR(analysis.parallelSpeedup(), 10.0, 1e-12);
+    EXPECT_NEAR(analysis.resourceReduction(), 5.0, 1e-12);
+}
+
+TEST(SelectionTest, BicMetadataPropagated)
+{
+    const std::vector<std::vector<double>> points{{0.0}, {1.0}};
+    const std::vector<uint64_t> instr{5, 5};
+    auto clustering = madeClustering({0, 1}, points, 2);
+    clustering.bicByK = {-10.0, -5.0};
+    const auto analysis = selectBarrierPoints(clustering, points, instr);
+    EXPECT_EQ(analysis.chosenK, 2u);
+    EXPECT_EQ(analysis.bicByK.size(), 2u);
+}
+
+} // namespace
+} // namespace bp

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for signature vectors and random projection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/signature.h"
+
+namespace bp {
+namespace {
+
+RegionProfile
+profileWith(unsigned threads)
+{
+    RegionProfile profile;
+    profile.threads.resize(threads);
+    return profile;
+}
+
+double
+l1Mass(const SparseSignature &sig)
+{
+    double total = 0.0;
+    for (const auto &[id, value] : sig.features)
+        total += value;
+    return total;
+}
+
+TEST(SignatureTest, KindNames)
+{
+    EXPECT_STREQ(signatureKindName(SignatureKind::Bbv), "bbv");
+    EXPECT_STREQ(signatureKindName(SignatureKind::Ldv), "reuse_dist");
+    EXPECT_STREQ(signatureKindName(SignatureKind::Combined), "combine");
+}
+
+TEST(SignatureTest, BbvOnlyNormalizesToOne)
+{
+    RegionProfile p = profileWith(2);
+    p.threads[0].bbv[1] = 30;
+    p.threads[0].bbv[2] = 10;
+    p.threads[1].bbv[1] = 60;
+    SignatureConfig cfg;
+    cfg.kind = SignatureKind::Bbv;
+    const auto sig = buildSignature(p, cfg);
+    EXPECT_EQ(sig.features.size(), 3u);
+    EXPECT_NEAR(l1Mass(sig), 1.0, 1e-12);
+}
+
+TEST(SignatureTest, LdvOnlyIgnoresBbv)
+{
+    RegionProfile p = profileWith(1);
+    p.threads[0].bbv[1] = 100;
+    p.threads[0].ldv.add(4, 10);
+    SignatureConfig cfg;
+    cfg.kind = SignatureKind::Ldv;
+    const auto sig = buildSignature(p, cfg);
+    EXPECT_EQ(sig.features.size(), 1u);
+    EXPECT_NEAR(l1Mass(sig), 1.0, 1e-12);
+}
+
+TEST(SignatureTest, CombinedHasBothHalvesWeightedEqually)
+{
+    RegionProfile p = profileWith(1);
+    p.threads[0].bbv[1] = 5;
+    p.threads[0].ldv.add(4, 10);
+    p.threads[0].ldv.add(100, 30);
+    SignatureConfig cfg;
+    cfg.kind = SignatureKind::Combined;
+    const auto sig = buildSignature(p, cfg);
+    EXPECT_EQ(sig.features.size(), 3u);
+    EXPECT_NEAR(l1Mass(sig), 1.0, 1e-12);
+}
+
+TEST(SignatureTest, ConcatenationSeparatesThreads)
+{
+    // Two regions: same aggregate mix, opposite per-thread behaviour.
+    RegionProfile a = profileWith(2);
+    a.threads[0].bbv[1] = 100;
+    a.threads[1].bbv[2] = 100;
+    RegionProfile b = profileWith(2);
+    b.threads[0].bbv[2] = 100;
+    b.threads[1].bbv[1] = 100;
+
+    SignatureConfig concat;
+    concat.kind = SignatureKind::Bbv;
+    concat.concatenateThreads = true;
+    SignatureConfig summed = concat;
+    summed.concatenateThreads = false;
+
+    const auto ca = projectSignature(buildSignature(a, concat), 15, 1);
+    const auto cb = projectSignature(buildSignature(b, concat), 15, 1);
+    const auto sa = projectSignature(buildSignature(a, summed), 15, 1);
+    const auto sb = projectSignature(buildSignature(b, summed), 15, 1);
+
+    EXPECT_GT(squaredDistance(ca, cb), 1e-6);
+    EXPECT_NEAR(squaredDistance(sa, sb), 0.0, 1e-18);
+}
+
+TEST(SignatureTest, LdvWeightingShiftsMassToLongDistances)
+{
+    RegionProfile p = profileWith(1);
+    p.threads[0].ldv.add(2, 100);      // bucket 1
+    p.threads[0].ldv.add(1 << 10, 1);  // bucket 10
+    SignatureConfig unweighted;
+    unweighted.kind = SignatureKind::Ldv;
+    SignatureConfig weighted = unweighted;
+    weighted.ldvWeightInvV = 0.5;  // 1/v = 1/2
+
+    const auto u = buildSignature(p, unweighted);
+    const auto w = buildSignature(p, weighted);
+    // Find the bucket-10 feature in both: its share must grow.
+    double u10 = 0, w10 = 0;
+    for (const auto &[id, value] : u.features) {
+        if ((id & 0xFF) == 10)
+            u10 = value;
+    }
+    for (const auto &[id, value] : w.features) {
+        if ((id & 0xFF) == 10)
+            w10 = value;
+    }
+    EXPECT_GT(w10, u10);
+}
+
+TEST(SignatureTest, ProjectionDeterministic)
+{
+    RegionProfile p = profileWith(1);
+    p.threads[0].bbv[7] = 3;
+    const auto sig = buildSignature(p, SignatureConfig{});
+    const auto a = projectSignature(sig, 15, 99);
+    const auto b = projectSignature(sig, 15, 99);
+    EXPECT_EQ(a, b);
+    const auto c = projectSignature(sig, 15, 100);
+    EXPECT_GT(squaredDistance(a, c), 0.0);
+}
+
+TEST(SignatureTest, ProjectionIsLinear)
+{
+    SparseSignature x, y, sum;
+    x.features = {{1, 0.25}, {2, 0.75}};
+    y.features = {{2, 0.25}, {3, 0.75}};
+    sum.features = {{1, 0.25}, {2, 1.0}, {3, 0.75}};
+    const auto px = projectSignature(x, 8, 5);
+    const auto py = projectSignature(y, 8, 5);
+    const auto ps = projectSignature(sum, 8, 5);
+    for (unsigned d = 0; d < 8; ++d)
+        EXPECT_NEAR(ps[d], px[d] + py[d], 1e-12);
+}
+
+TEST(SignatureTest, IdenticalProfilesProjectIdentically)
+{
+    RegionProfile a = profileWith(2);
+    a.threads[0].bbv[1] = 10;
+    a.threads[1].bbv[1] = 10;
+    a.threads[0].ldv.add(16, 4);
+    a.threads[1].ldv.add(16, 4);
+    RegionProfile b = a;
+    const SignatureConfig cfg;
+    const auto pa = projectSignature(buildSignature(a, cfg), 15, 1);
+    const auto pb = projectSignature(buildSignature(b, cfg), 15, 1);
+    EXPECT_NEAR(squaredDistance(pa, pb), 0.0, 1e-18);
+}
+
+TEST(SignatureTest, SquaredDistance)
+{
+    EXPECT_DOUBLE_EQ(squaredDistance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+    EXPECT_DOUBLE_EQ(squaredDistance({1.0}, {1.0}), 0.0);
+}
+
+} // namespace
+} // namespace bp

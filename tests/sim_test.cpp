@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Unit tests for the timing simulator: branch predictor, core model,
+ * multi-core engine, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/branch_predictor.h"
+#include "src/sim/multicore_sim.h"
+#include "src/support/rng.h"
+
+namespace bp {
+namespace {
+
+// ------------------------------------------------------ BranchPredictor
+
+TEST(BranchPredictorTest, FirstEncounterMispredicts)
+{
+    BranchPredictor p(8);
+    EXPECT_TRUE(p.predictAndTrain(1, 2));
+}
+
+TEST(BranchPredictorTest, LearnsStableTransition)
+{
+    BranchPredictor p(8);
+    p.predictAndTrain(1, 2);
+    EXPECT_FALSE(p.predictAndTrain(1, 2));
+    EXPECT_FALSE(p.predictAndTrain(1, 2));
+}
+
+TEST(BranchPredictorTest, HysteresisResistsOneOffChange)
+{
+    BranchPredictor p(8);
+    for (int i = 0; i < 4; ++i)
+        p.predictAndTrain(1, 2);
+    EXPECT_TRUE(p.predictAndTrain(1, 3));   // deviation mispredicts
+    EXPECT_FALSE(p.predictAndTrain(1, 2));  // but target 2 survives
+}
+
+TEST(BranchPredictorTest, RetargetsAfterRepeatedChange)
+{
+    BranchPredictor p(8);
+    p.predictAndTrain(1, 2);
+    for (int i = 0; i < 6; ++i)
+        p.predictAndTrain(1, 3);
+    EXPECT_FALSE(p.predictAndTrain(1, 3));
+}
+
+TEST(BranchPredictorTest, CountsTracked)
+{
+    BranchPredictor p(8);
+    p.predictAndTrain(1, 2);
+    p.predictAndTrain(1, 2);
+    EXPECT_EQ(p.lookups(), 2u);
+    EXPECT_EQ(p.mispredicts(), 1u);
+    p.reset();
+    EXPECT_EQ(p.lookups(), 0u);
+}
+
+// ------------------------------------------------------------ CoreModel
+
+RegionTrace
+aluRegion(unsigned threads, unsigned ops_per_thread, uint32_t bb = 1)
+{
+    RegionTrace trace(0, threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        for (unsigned i = 0; i < ops_per_thread; ++i)
+            trace.thread(t).push_back(MicroOp::alu(bb));
+    }
+    return trace;
+}
+
+TEST(CoreModelTest, AluThroughputMatchesIssueWidth)
+{
+    const MachineConfig cfg = MachineConfig::withCores(1);
+    MultiCoreSim sim(cfg);
+    const auto stats = sim.simulateRegion(aluRegion(1, 4000));
+    // 4000 uops at width 4 = 1000 cycles, plus the barrier.
+    EXPECT_NEAR(stats.cycles - cfg.barrierCost(), 1000.0, 20.0);
+}
+
+TEST(CoreModelTest, L1HitsMostlyHidden)
+{
+    const MachineConfig cfg = MachineConfig::withCores(1);
+    MultiCoreSim sim(cfg);
+    RegionTrace trace(0, 1);
+    // Repeatedly load the same line: L1 hits after the first.
+    for (unsigned i = 0; i < 1000; ++i) {
+        trace.thread(0).push_back(MicroOp::alu(1));
+        trace.thread(0).push_back(MicroOp::load(1, 0));
+    }
+    const auto stats = sim.simulateRegion(trace);
+    const double work = stats.cycles - cfg.barrierCost();
+    // issue: 2000/4 = 500; dep: 1000 * 4 * 0.125 = 500; one dram miss.
+    EXPECT_LT(work, 1400.0);
+}
+
+TEST(CoreModelTest, DramMissesStall)
+{
+    const MachineConfig cfg = MachineConfig::withCores(1);
+    MultiCoreSim warm(cfg), cold(cfg);
+    RegionTrace trace(0, 1);
+    for (unsigned i = 0; i < 256; ++i)
+        trace.thread(0).push_back(MicroOp::load(1, i * kLineBytes));
+    const auto first = cold.simulateRegion(trace);   // all DRAM
+    const auto second = cold.simulateRegion(trace);  // all L1
+    EXPECT_GT(first.cycles, 2.0 * second.cycles);
+    EXPECT_EQ(first.mem.dramReads, 256u);
+    EXPECT_EQ(second.mem.dramReads, 0u);
+}
+
+TEST(CoreModelTest, MispredictPenaltyVisible)
+{
+    const MachineConfig cfg = MachineConfig::withCores(1);
+    MultiCoreSim stable(cfg), unstable(cfg);
+    // Stable: bb alternation A,B learned after one round.
+    RegionTrace s(0, 1), u(0, 1);
+    uint64_t seed = 5;
+    for (unsigned i = 0; i < 2000; ++i) {
+        s.thread(0).push_back(MicroOp::alu(i % 2 ? 2 : 1));
+        // Unstable: random successor defeats the predictor.
+        u.thread(0).push_back(
+            MicroOp::alu(static_cast<uint32_t>(splitMix64(seed) % 7)));
+    }
+    const auto ss = stable.simulateRegion(s);
+    const auto us = unstable.simulateRegion(u);
+    EXPECT_GT(us.mispredicts, 4 * ss.mispredicts);
+    EXPECT_GT(us.cycles, ss.cycles);
+}
+
+TEST(CoreModelTest, TrainPredictorsRemovesColdMispredicts)
+{
+    const MachineConfig cfg = MachineConfig::withCores(1);
+    RegionTrace trace(0, 1);
+    for (unsigned i = 0; i < 100; ++i) {
+        for (unsigned k = 0; k < 10; ++k)
+            trace.thread(0).push_back(MicroOp::alu(10 + i % 5));
+    }
+    MultiCoreSim coldSim(cfg), warmSim(cfg);
+    warmSim.trainPredictors(trace);
+    const auto cold = coldSim.simulateRegion(trace);
+    const auto warm = warmSim.simulateRegion(trace);
+    EXPECT_LT(warm.mispredicts, cold.mispredicts);
+}
+
+// --------------------------------------------------------- MultiCoreSim
+
+TEST(MultiCoreSimTest, RegionDurationIsMaxThreadPlusBarrier)
+{
+    const MachineConfig cfg = MachineConfig::withCores(4);
+    MultiCoreSim sim(cfg);
+    RegionTrace trace(0, 4);
+    // Thread 2 has 4x the work.
+    for (unsigned t = 0; t < 4; ++t) {
+        const unsigned ops = t == 2 ? 4000 : 1000;
+        for (unsigned i = 0; i < ops; ++i)
+            trace.thread(t).push_back(MicroOp::alu(1));
+    }
+    const auto stats = sim.simulateRegion(trace);
+    EXPECT_NEAR(stats.cycles, 4000.0 / 4 + cfg.barrierCost(), 30.0);
+}
+
+TEST(MultiCoreSimTest, EmptyRegionCostsOneBarrier)
+{
+    const MachineConfig cfg = MachineConfig::withCores(2);
+    MultiCoreSim sim(cfg);
+    const auto stats = sim.simulateRegion(RegionTrace(0, 2));
+    EXPECT_DOUBLE_EQ(stats.cycles, cfg.barrierCost());
+    EXPECT_EQ(stats.instructions, 0u);
+}
+
+TEST(MultiCoreSimTest, CachePersistsAcrossRegions)
+{
+    const MachineConfig cfg = MachineConfig::withCores(1);
+    MultiCoreSim sim(cfg);
+    RegionTrace trace(0, 1);
+    for (unsigned i = 0; i < 100; ++i)
+        trace.thread(0).push_back(MicroOp::load(1, i * kLineBytes));
+    sim.simulateRegion(trace);
+    const auto again = sim.simulateRegion(trace);
+    EXPECT_EQ(again.mem.dramReads, 0u);
+}
+
+TEST(MultiCoreSimTest, ResetColdsTheMachine)
+{
+    const MachineConfig cfg = MachineConfig::withCores(1);
+    MultiCoreSim sim(cfg);
+    RegionTrace trace(0, 1);
+    for (unsigned i = 0; i < 100; ++i)
+        trace.thread(0).push_back(MicroOp::load(1, i * kLineBytes));
+    sim.simulateRegion(trace);
+    sim.reset();
+    const auto stats = sim.simulateRegion(trace);
+    EXPECT_EQ(stats.mem.dramReads, 100u);
+}
+
+TEST(MultiCoreSimTest, WarmupReplayPreventsColdMisses)
+{
+    const MachineConfig cfg = MachineConfig::withCores(1);
+    MultiCoreSim sim(cfg);
+    std::vector<std::vector<MruEntry>> lines(1);
+    for (unsigned i = 0; i < 100; ++i)
+        lines[0].push_back(MruEntry{i, false, false});
+    sim.warmupReplay(lines);
+    RegionTrace trace(0, 1);
+    for (unsigned i = 0; i < 100; ++i)
+        trace.thread(0).push_back(MicroOp::load(1, i * kLineBytes));
+    const auto stats = sim.simulateRegion(trace);
+    EXPECT_EQ(stats.mem.dramReads, 0u);
+}
+
+TEST(MultiCoreSimTest, WarmupReplayWrittenAvoidsUpgrades)
+{
+    const MachineConfig cfg = MachineConfig::withCores(1);
+    MultiCoreSim sim(cfg);
+    std::vector<std::vector<MruEntry>> lines(1);
+    for (unsigned i = 0; i < 50; ++i)
+        lines[0].push_back(MruEntry{i, true, false});
+    sim.warmupReplay(lines);
+    RegionTrace trace(0, 1);
+    for (unsigned i = 0; i < 50; ++i)
+        trace.thread(0).push_back(MicroOp::store(1, i * kLineBytes));
+    const auto stats = sim.simulateRegion(trace);
+    EXPECT_EQ(stats.mem.upgrades, 0u);
+}
+
+TEST(MultiCoreSimTest, DeterministicAcrossRuns)
+{
+    const MachineConfig cfg = MachineConfig::withCores(4);
+    RegionTrace trace(0, 4);
+    for (unsigned t = 0; t < 4; ++t) {
+        for (unsigned i = 0; i < 500; ++i) {
+            trace.thread(t).push_back(
+                MicroOp::load(t + 1, (t * 1000 + i) * kLineBytes));
+        }
+    }
+    MultiCoreSim a(cfg), b(cfg);
+    const auto ra = a.simulateRegion(trace);
+    const auto rb = b.simulateRegion(trace);
+    EXPECT_DOUBLE_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.mem.dramReads, rb.mem.dramReads);
+}
+
+TEST(MultiCoreSimTest, SimulateFullRunAccumulates)
+{
+    const MachineConfig cfg = MachineConfig::withCores(2);
+    const RunResult run = simulateFullRun(cfg, 5, [](unsigned r) {
+        RegionTrace trace(r, 2);
+        for (unsigned t = 0; t < 2; ++t) {
+            for (unsigned i = 0; i < 100 * (r + 1); ++i)
+                trace.thread(t).push_back(MicroOp::alu(1));
+        }
+        return trace;
+    });
+    ASSERT_EQ(run.regions.size(), 5u);
+    EXPECT_EQ(run.totalInstructions(), 2u * 100 * (1 + 2 + 3 + 4 + 5));
+    // Start cycles must be cumulative.
+    double clock = 0.0;
+    for (const auto &region : run.regions) {
+        EXPECT_DOUBLE_EQ(region.startCycle, clock);
+        clock += region.cycles;
+    }
+    EXPECT_DOUBLE_EQ(run.totalCycles(), clock);
+}
+
+// ------------------------------------------------------------ SimStats
+
+TEST(SimStatsTest, DerivedMetrics)
+{
+    RegionStats s;
+    s.instructions = 10000;
+    s.cycles = 5000.0;
+    s.mem.dramReads = 30;
+    s.mem.dramWrites = 10;
+    s.mem.llcMisses = 50;
+    EXPECT_DOUBLE_EQ(s.ipc(), 2.0);
+    EXPECT_DOUBLE_EQ(s.dramApki(), 4.0);
+    EXPECT_DOUBLE_EQ(s.llcMpki(), 5.0);
+}
+
+TEST(SimStatsTest, ZeroGuards)
+{
+    RegionStats s;
+    EXPECT_DOUBLE_EQ(s.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(s.dramApki(), 0.0);
+}
+
+TEST(MachineConfigTest, Factories)
+{
+    const auto m8 = MachineConfig::cores8();
+    EXPECT_EQ(m8.numCores, 8u);
+    EXPECT_EQ(m8.mem.numSockets(), 1u);
+    const auto m32 = MachineConfig::cores32();
+    EXPECT_EQ(m32.numCores, 32u);
+    EXPECT_EQ(m32.mem.numSockets(), 4u);
+    EXPECT_DOUBLE_EQ(m8.robCredit(), 32.0);
+    EXPECT_NEAR(m8.secondsFromCycles(2.66e9), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace bp

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for the trace module.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/trace/region_trace.h"
+
+namespace bp {
+namespace {
+
+TEST(MicroOpTest, Factories)
+{
+    const MicroOp a = MicroOp::alu(7);
+    EXPECT_EQ(a.kind, OpKind::Alu);
+    EXPECT_EQ(a.bb, 7u);
+    EXPECT_EQ(a.addr, 0u);
+    EXPECT_FALSE(a.isMem());
+
+    const MicroOp l = MicroOp::load(3, 0x1000);
+    EXPECT_EQ(l.kind, OpKind::Load);
+    EXPECT_TRUE(l.isMem());
+    EXPECT_EQ(l.addr, 0x1000u);
+
+    const MicroOp s = MicroOp::store(4, 0x2040);
+    EXPECT_EQ(s.kind, OpKind::Store);
+    EXPECT_TRUE(s.isMem());
+}
+
+TEST(MicroOpTest, LineOf)
+{
+    EXPECT_EQ(lineOf(0), 0u);
+    EXPECT_EQ(lineOf(63), 0u);
+    EXPECT_EQ(lineOf(64), 1u);
+    EXPECT_EQ(lineOf(128 + 5), 2u);
+}
+
+TEST(RegionTraceTest, EmptyTotals)
+{
+    RegionTrace trace(3, 4);
+    EXPECT_EQ(trace.regionIndex(), 3u);
+    EXPECT_EQ(trace.threadCount(), 4u);
+    EXPECT_EQ(trace.totalOps(), 0u);
+    EXPECT_EQ(trace.totalMemOps(), 0u);
+    EXPECT_EQ(trace.maxThreadOps(), 0u);
+}
+
+TEST(RegionTraceTest, TotalsAcrossThreads)
+{
+    RegionTrace trace(0, 2);
+    trace.thread(0).push_back(MicroOp::alu(1));
+    trace.thread(0).push_back(MicroOp::load(1, 64));
+    trace.thread(1).push_back(MicroOp::store(2, 128));
+    trace.thread(1).push_back(MicroOp::alu(2));
+    trace.thread(1).push_back(MicroOp::alu(2));
+    EXPECT_EQ(trace.totalOps(), 5u);
+    EXPECT_EQ(trace.totalMemOps(), 2u);
+    EXPECT_EQ(trace.opsInThread(0), 2u);
+    EXPECT_EQ(trace.opsInThread(1), 3u);
+    EXPECT_EQ(trace.maxThreadOps(), 3u);
+}
+
+} // namespace
+} // namespace bp
