@@ -1,12 +1,14 @@
 #include "src/core/kmeans.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "src/core/signature.h"
 #include "src/support/logging.h"
 #include "src/support/rng.h"
+#include "src/support/thread_pool.h"
 
 namespace bp {
 
@@ -68,7 +70,8 @@ seedCentroids(const std::vector<std::vector<double>> &points,
 KMeansResult
 lloyd(const std::vector<std::vector<double>> &points,
       const std::vector<double> &weights,
-      std::vector<std::vector<double>> centroids, unsigned max_iterations)
+      std::vector<std::vector<double>> centroids, unsigned max_iterations,
+      ThreadPool *pool)
 {
     const size_t n = points.size();
     const unsigned k = static_cast<unsigned>(centroids.size());
@@ -77,8 +80,12 @@ lloyd(const std::vector<std::vector<double>> &points,
     std::vector<unsigned> assignment(n, 0);
 
     for (unsigned iter = 0; iter < max_iterations; ++iter) {
-        bool changed = false;
-        for (size_t i = 0; i < n; ++i) {
+        // Assignment step: each point's nearest centroid depends only
+        // on immutable snapshot state, and ties break toward the
+        // lowest centroid index (strict <) — independent of execution
+        // order, so this parallelizes bit-identically.
+        std::atomic<bool> changed{false};
+        parallelFor(pool, 0, n, [&](uint64_t i) {
             double best = std::numeric_limits<double>::max();
             unsigned best_c = 0;
             for (unsigned c = 0; c < k; ++c) {
@@ -90,10 +97,10 @@ lloyd(const std::vector<std::vector<double>> &points,
             }
             if (assignment[i] != best_c) {
                 assignment[i] = best_c;
-                changed = true;
+                changed.store(true, std::memory_order_relaxed);
             }
-        }
-        if (!changed && iter > 0)
+        }, 64);
+        if (!changed.load(std::memory_order_relaxed) && iter > 0)
             break;
 
         // Recompute weighted centroids.
@@ -145,7 +152,7 @@ lloyd(const std::vector<std::vector<double>> &points,
 KMeansResult
 kmeansCluster(const std::vector<std::vector<double>> &points,
               const std::vector<double> &weights, unsigned k, uint64_t seed,
-              unsigned max_iterations, unsigned restarts)
+              unsigned max_iterations, unsigned restarts, ThreadPool *pool)
 {
     BP_ASSERT(!points.empty(), "k-means requires points");
     BP_ASSERT(points.size() == weights.size(), "weights/points mismatch");
@@ -157,7 +164,7 @@ kmeansCluster(const std::vector<std::vector<double>> &points,
         Rng rng(hashMix(seed + r * 0x9E37u + k));
         KMeansResult candidate =
             lloyd(points, weights, seedCentroids(points, weights, k, rng),
-                  max_iterations);
+                  max_iterations, pool);
         if (candidate.weightedSse < best.weightedSse)
             best = std::move(candidate);
     }
@@ -208,22 +215,30 @@ bicScore(const std::vector<std::vector<double>> &points,
 ClusteringResult
 clusterSignatures(const std::vector<std::vector<double>> &points,
                   const std::vector<double> &weights,
-                  const ClusteringConfig &config)
+                  const ClusteringConfig &config, ThreadPool *pool)
 {
     BP_ASSERT(!points.empty(), "clustering requires points");
     const unsigned max_k =
         std::min<unsigned>(config.maxK,
                            static_cast<unsigned>(points.size()));
 
-    std::vector<KMeansResult> by_k;
+    // The k sweep is the coarsest parallel grain: every k is seeded
+    // independently, so the runs are order-free and results collect
+    // in k order. Inner lloyd() calls detect they are inside the
+    // sweep's parallelFor (worker or participating caller) and fall
+    // back to serial, so the two levels compose safely; when the
+    // sweep is too small to dispatch, the assignment step's own
+    // parallelism takes over instead.
+    std::vector<KMeansResult> by_k(max_k);
     ClusteringResult out;
-    by_k.reserve(max_k);
-    for (unsigned k = 1; k <= max_k; ++k) {
-        by_k.push_back(kmeansCluster(points, weights, k, config.seed,
-                                     config.maxIterations,
-                                     config.restarts));
-        out.bicByK.push_back(bicScore(points, weights, by_k.back()));
-    }
+    out.bicByK.resize(max_k);
+    parallelFor(pool, 0, max_k, [&](uint64_t idx) {
+        const unsigned k = static_cast<unsigned>(idx) + 1;
+        by_k[idx] = kmeansCluster(points, weights, k, config.seed,
+                                  config.maxIterations, config.restarts,
+                                  pool);
+        out.bicByK[idx] = bicScore(points, weights, by_k[idx]);
+    });
 
     // SimPoint rule: smallest k whose BIC reaches bicThreshold of the
     // observed score range.

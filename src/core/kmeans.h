@@ -17,6 +17,8 @@
 
 namespace bp {
 
+class ThreadPool;
+
 /** Parameters of the clustering stage (the paper's Table II). */
 struct ClusteringConfig
 {
@@ -45,11 +47,14 @@ struct KMeansResult
  * @param weights n non-negative weights
  * @param k       number of clusters (1 <= k <= n)
  * @param seed    deterministic seeding
+ * @param pool    optional worker pool for the assignment step; the
+ *                result is bit-identical with or without it
  */
 KMeansResult kmeansCluster(const std::vector<std::vector<double>> &points,
                            const std::vector<double> &weights, unsigned k,
                            uint64_t seed, unsigned max_iterations = 100,
-                           unsigned restarts = 5);
+                           unsigned restarts = 5,
+                           ThreadPool *pool = nullptr);
 
 /**
  * Bayesian Information Criterion of a clustering (x-means style,
@@ -67,10 +72,17 @@ struct ClusteringResult
     std::vector<double> bicByK;  ///< index k-1 -> BIC score
 };
 
-/** Sweep k = 1..maxK and pick per the SimPoint BIC-threshold rule. */
+/**
+ * Sweep k = 1..maxK and pick per the SimPoint BIC-threshold rule.
+ *
+ * With a pool, the per-k runs execute concurrently (each k's RNG is
+ * seeded independently, so the sweep is order-free) and results are
+ * collected in k order — output is bit-identical to the serial sweep.
+ */
 ClusteringResult clusterSignatures(
     const std::vector<std::vector<double>> &points,
-    const std::vector<double> &weights, const ClusteringConfig &config);
+    const std::vector<double> &weights, const ClusteringConfig &config,
+    ThreadPool *pool = nullptr);
 
 } // namespace bp
 

@@ -1,46 +1,118 @@
 #include "src/core/pipeline.h"
 
 #include <algorithm>
+#include <memory>
+#include <unordered_map>
 
 #include "src/profile/mru_tracker.h"
 #include "src/support/logging.h"
+#include "src/support/thread_pool.h"
 
 namespace bp {
 
 std::vector<RegionProfile>
-profileWorkload(const Workload &workload)
+profileWorkload(const Workload &workload, unsigned threads)
 {
+    ThreadPool pool(threads);
+    return profileWorkload(workload, pool);
+}
+
+std::vector<RegionProfile>
+profileWorkload(const Workload &workload, ThreadPool &pool)
+{
+    const unsigned regions = workload.regionCount();
     RegionProfiler profiler(workload.threadCount());
     std::vector<RegionProfile> profiles;
-    profiles.reserve(workload.regionCount());
-    for (unsigned r = 0; r < workload.regionCount(); ++r)
-        profiles.push_back(profiler.profileRegion(workload.generateRegion(r)));
+    profiles.reserve(regions);
+
+    if (pool.threadCount() <= 1) {
+        for (unsigned r = 0; r < regions; ++r)
+            profiles.push_back(
+                profiler.profileRegion(workload.generateRegion(r)));
+        return profiles;
+    }
+
+    // Reuse-distance state persists across regions, so regions are
+    // *profiled* in order — but trace generation is pure, so up to
+    // `lookahead` future traces are generated on the pool while the
+    // caller profiles the current one (whose per-thread streams fan
+    // out on the pool as well). The ring of slots bounds how many
+    // fully generated traces are held in memory.
+    const unsigned lookahead =
+        std::min(regions, 2 * pool.threadCount());
+    std::vector<std::unique_ptr<RegionTrace>> traces(lookahead);
+    std::vector<std::future<void>> pending(lookahead);
+    const auto generate = [&](unsigned region, unsigned slot) {
+        pending[slot] = pool.submit([&workload, &traces, region, slot] {
+            traces[slot] = std::make_unique<RegionTrace>(
+                workload.generateRegion(region));
+        });
+    };
+    try {
+        for (unsigned r = 0; r < lookahead; ++r)
+            generate(r, r);
+        for (unsigned r = 0; r < regions; ++r) {
+            const unsigned slot = r % lookahead;
+            pending[slot].get();
+            profiles.push_back(
+                profiler.profileRegion(*traces[slot], &pool));
+            traces[slot].reset();
+            if (r + lookahead < regions)
+                generate(r + lookahead, slot);
+        }
+    } catch (...) {
+        // In-flight generators write into traces/pending; they must
+        // finish before those go out of scope.
+        for (auto &f : pending) {
+            if (f.valid()) {
+                try {
+                    f.get();
+                } catch (...) {
+                }
+            }
+        }
+        throw;
+    }
     return profiles;
 }
 
 std::vector<std::vector<double>>
 projectProfiles(const std::vector<RegionProfile> &profiles,
                 const SignatureConfig &signature,
-                const ClusteringConfig &clustering)
+                const ClusteringConfig &clustering, unsigned threads)
 {
-    std::vector<std::vector<double>> points;
-    points.reserve(profiles.size());
-    for (const auto &profile : profiles) {
-        points.push_back(projectSignature(buildSignature(profile, signature),
-                                          clustering.dim,
-                                          clustering.seed));
-    }
-    return points;
+    ThreadPool pool(threads);
+    return projectProfiles(profiles, signature, clustering, pool);
+}
+
+std::vector<std::vector<double>>
+projectProfiles(const std::vector<RegionProfile> &profiles,
+                const SignatureConfig &signature,
+                const ClusteringConfig &clustering, ThreadPool &pool)
+{
+    return pool.parallelMap<std::vector<double>>(
+        profiles.size(), [&](size_t i) {
+            return projectSignature(buildSignature(profiles[i], signature),
+                                    clustering.dim, clustering.seed);
+        });
 }
 
 BarrierPointAnalysis
 analyzeProfiles(const std::vector<RegionProfile> &profiles,
                 const BarrierPointOptions &options)
 {
+    ThreadPool pool(options.threads);
+    return analyzeProfiles(profiles, options, pool);
+}
+
+BarrierPointAnalysis
+analyzeProfiles(const std::vector<RegionProfile> &profiles,
+                const BarrierPointOptions &options, ThreadPool &pool)
+{
     BP_ASSERT(!profiles.empty(), "no profiles to analyze");
 
-    const auto points =
-        projectProfiles(profiles, options.signature, options.clustering);
+    const auto points = projectProfiles(profiles, options.signature,
+                                        options.clustering, pool);
 
     std::vector<uint64_t> instructions;
     std::vector<double> weights;
@@ -52,7 +124,7 @@ analyzeProfiles(const std::vector<RegionProfile> &profiles,
     }
 
     const ClusteringResult clustering =
-        clusterSignatures(points, weights, options.clustering);
+        clusterSignatures(points, weights, options.clustering, &pool);
     return selectBarrierPoints(clustering, points, instructions,
                                options.significance);
 }
@@ -60,7 +132,10 @@ analyzeProfiles(const std::vector<RegionProfile> &profiles,
 BarrierPointAnalysis
 analyzeWorkload(const Workload &workload, const BarrierPointOptions &options)
 {
-    return analyzeProfiles(profileWorkload(workload), options);
+    // One pool shared by every stage: profiling, projection,
+    // clustering.
+    ThreadPool pool(options.threads);
+    return analyzeProfiles(profileWorkload(workload, pool), options, pool);
 }
 
 RunResult
@@ -87,6 +162,13 @@ captureMruSnapshots(const Workload &workload,
     const uint32_t last =
         *std::max_element(regions.begin(), regions.end());
     const unsigned threads = workload.threadCount();
+
+    // region -> snapshot slots wanting it, so per-region capture cost
+    // does not scale with #barrierpoints x #regions.
+    std::unordered_multimap<uint32_t, size_t> slots_of_region;
+    slots_of_region.reserve(regions.size());
+    for (size_t i = 0; i < regions.size(); ++i)
+        slots_of_region.emplace(regions[i], i);
 
     std::vector<MruTracker> trackers;
     trackers.reserve(threads);
@@ -120,9 +202,11 @@ captureMruSnapshots(const Workload &workload,
     for (uint32_t r = 0; r <= last; ++r) {
         // Snapshot *before* region r runs: this is the state a
         // checkpoint taken at barrier r would capture.
-        for (size_t i = 0; i < regions.size(); ++i) {
-            if (regions[i] == r)
-                snapshots[i] = snapshot_all();
+        const auto [slot, slots_end] = slots_of_region.equal_range(r);
+        if (slot != slots_end) {
+            const auto state = snapshot_all();
+            for (auto it = slot; it != slots_end; ++it)
+                snapshots[it->second] = state;
         }
         if (r == last)
             break;
@@ -162,7 +246,16 @@ captureMruSnapshots(const Workload &workload,
 std::vector<RegionStats>
 simulateBarrierPoints(const Workload &workload, const MachineConfig &machine,
                       const BarrierPointAnalysis &analysis,
-                      WarmupPolicy policy)
+                      WarmupPolicy policy, unsigned threads)
+{
+    ThreadPool pool(threads);
+    return simulateBarrierPoints(workload, machine, analysis, policy, pool);
+}
+
+std::vector<RegionStats>
+simulateBarrierPoints(const Workload &workload, const MachineConfig &machine,
+                      const BarrierPointAnalysis &analysis,
+                      WarmupPolicy policy, ThreadPool &pool)
 {
     std::vector<std::vector<std::vector<MruEntry>>> snapshots;
     if (policy == WarmupPolicy::MruReplay) {
@@ -176,19 +269,20 @@ simulateBarrierPoints(const Workload &workload, const MachineConfig &machine,
                                         machine.mem.l2.numLines());
     }
 
-    std::vector<RegionStats> stats;
-    stats.reserve(analysis.points.size());
-    for (size_t j = 0; j < analysis.points.size(); ++j) {
-        MultiCoreSim sim(machine);
-        const RegionTrace trace =
-            workload.generateRegion(analysis.points[j].region);
-        if (policy == WarmupPolicy::MruReplay) {
-            sim.warmupReplay(snapshots[j]);
-            sim.trainPredictors(trace);
-        }
-        stats.push_back(sim.simulateRegion(trace));
-    }
-    return stats;
+    // Every barrierpoint gets a fresh MultiCoreSim and its own trace,
+    // so the per-point loop is embarrassingly parallel; stats land in
+    // their analysis.points slot regardless of completion order.
+    return pool.parallelMap<RegionStats>(
+        analysis.points.size(), [&](size_t j) {
+            MultiCoreSim sim(machine);
+            const RegionTrace trace =
+                workload.generateRegion(analysis.points[j].region);
+            if (policy == WarmupPolicy::MruReplay) {
+                sim.warmupReplay(snapshots[j]);
+                sim.trainPredictors(trace);
+            }
+            return sim.simulateRegion(trace);
+        });
 }
 
 } // namespace bp

@@ -14,6 +14,18 @@
  *
  * reconstruction.h turns barrierpoint stats into whole-program
  * estimates.
+ *
+ * Threading model: inter-barrier regions are independent units of
+ * work (the paper's central observation), so every stage runs its
+ * region-indexed loop on a support/thread_pool when `threads > 1`:
+ * trace generation and per-thread profiling in profileWorkload(),
+ * signature projection in projectProfiles(), the k sweep and
+ * assignment step of clustering, and per-barrierpoint simulation in
+ * simulateBarrierPoints(). Only MRU snapshot capture is inherently
+ * serial (a streaming scan of the whole run). Determinism contract:
+ * results are collected in index order and every task touches only
+ * state owned by its index, so output is bit-identical to the serial
+ * path for any thread count.
  */
 
 #ifndef BP_CORE_PIPELINE_H
@@ -30,31 +42,63 @@
 
 namespace bp {
 
+class ThreadPool;
+
 /** All knobs of the one-time analysis. */
 struct BarrierPointOptions
 {
     SignatureConfig signature;
     ClusteringConfig clustering;
     double significance = 0.001;  ///< Table III's 0.1 % threshold
+    unsigned threads = 1;         ///< pipeline workers (0 = hardware)
 };
 
-/** Profile every region of @p workload, in execution order. */
-std::vector<RegionProfile> profileWorkload(const Workload &workload);
+/**
+ * Profile every region of @p workload, in execution order.
+ *
+ * @param threads worker count: trace generation runs ahead of the
+ *                profiler via lookahead prefetch and per-thread
+ *                profiling fans out, while the region-order
+ *                reuse-distance state still advances serially.
+ *                1 = serial, 0 = hardware.
+ */
+std::vector<RegionProfile> profileWorkload(const Workload &workload,
+                                           unsigned threads = 1);
+
+/** As above, on an existing pool (shared across pipeline stages). */
+std::vector<RegionProfile> profileWorkload(const Workload &workload,
+                                           ThreadPool &pool);
 
 /** Build and project signatures for a set of region profiles. */
 std::vector<std::vector<double>> projectProfiles(
     const std::vector<RegionProfile> &profiles,
-    const SignatureConfig &signature, const ClusteringConfig &clustering);
+    const SignatureConfig &signature, const ClusteringConfig &clustering,
+    unsigned threads = 1);
+
+/** As above, on an existing pool. */
+std::vector<std::vector<double>> projectProfiles(
+    const std::vector<RegionProfile> &profiles,
+    const SignatureConfig &signature, const ClusteringConfig &clustering,
+    ThreadPool &pool);
 
 /**
  * Run the full analysis on existing profiles (lets callers sweep
- * signature/clustering settings without re-profiling).
+ * signature/clustering settings without re-profiling). Uses
+ * options.threads workers.
  */
 BarrierPointAnalysis analyzeProfiles(
     const std::vector<RegionProfile> &profiles,
     const BarrierPointOptions &options = {});
 
-/** Convenience: profile + analyze in one call. */
+/** As above, on an existing pool (options.threads is ignored). */
+BarrierPointAnalysis analyzeProfiles(
+    const std::vector<RegionProfile> &profiles,
+    const BarrierPointOptions &options, ThreadPool &pool);
+
+/**
+ * Convenience: profile + analyze in one call. One pool of
+ * options.threads workers is shared by every stage.
+ */
 BarrierPointAnalysis analyzeWorkload(const Workload &workload,
                                      const BarrierPointOptions &options = {});
 
@@ -91,11 +135,23 @@ std::vector<std::vector<std::vector<MruEntry>>> captureMruSnapshots(
  * Each barrierpoint gets a fresh machine; with WarmupPolicy::MruReplay
  * the caches are first reconstructed from profiling-time MRU data.
  *
+ * Because every barrierpoint runs on its own fresh MultiCoreSim, the
+ * per-point loop is embarrassingly parallel; @p threads > 1 simulates
+ * barrierpoints concurrently (snapshot capture stays serial) with
+ * stats collected in analysis.points order.
+ *
  * @return stats indexed like analysis.points
  */
 std::vector<RegionStats> simulateBarrierPoints(
     const Workload &workload, const MachineConfig &machine,
-    const BarrierPointAnalysis &analysis, WarmupPolicy policy);
+    const BarrierPointAnalysis &analysis, WarmupPolicy policy,
+    unsigned threads = 1);
+
+/** As above, on an existing pool. */
+std::vector<RegionStats> simulateBarrierPoints(
+    const Workload &workload, const MachineConfig &machine,
+    const BarrierPointAnalysis &analysis, WarmupPolicy policy,
+    ThreadPool &pool);
 
 } // namespace bp
 

@@ -1,6 +1,7 @@
 #include "src/profile/region_profiler.h"
 
 #include "src/support/logging.h"
+#include "src/support/thread_pool.h"
 
 namespace bp {
 
@@ -36,7 +37,7 @@ RegionProfiler::RegionProfiler(unsigned threads,
 }
 
 RegionProfile
-RegionProfiler::profileRegion(const RegionTrace &region)
+RegionProfiler::profileRegion(const RegionTrace &region, ThreadPool *pool)
 {
     BP_ASSERT(region.threadCount() == threads_,
               "trace thread count does not match the profiler");
@@ -49,7 +50,8 @@ RegionProfiler::profileRegion(const RegionTrace &region)
     // high bucket that no finite cache could satisfy.
     constexpr uint64_t cold_marker = 1ull << 38;
 
-    for (unsigned t = 0; t < threads_; ++t) {
+    // Thread t touches only reuse_[t], mru_[t] and profile.threads[t].
+    parallelFor(pool, 0, threads_, [&](uint64_t t) {
         ThreadProfile &thread_profile = profile.threads[t];
         ReuseDistanceCollector &reuse = reuse_[t];
         MruTracker *mru = mru_.empty() ? nullptr : &mru_[t];
@@ -71,7 +73,7 @@ RegionProfiler::profileRegion(const RegionTrace &region)
             if (mru)
                 mru->access(line, op.kind == OpKind::Store);
         }
-    }
+    });
     return profile;
 }
 

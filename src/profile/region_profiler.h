@@ -25,6 +25,8 @@
 
 namespace bp {
 
+class ThreadPool;
+
 /** One thread's profile of one inter-barrier region. */
 struct ThreadProfile
 {
@@ -60,8 +62,17 @@ class RegionProfiler
     explicit RegionProfiler(unsigned threads,
                             uint64_t mru_capacity_lines = 0);
 
-    /** Profile one region and advance the persistent LRU/MRU state. */
-    RegionProfile profileRegion(const RegionTrace &region);
+    /**
+     * Profile one region and advance the persistent LRU/MRU state.
+     *
+     * Regions must still arrive in execution order (the LRU stack is
+     * a property of the whole run), but *within* a region every
+     * workload thread's stream touches only that thread's collector,
+     * so the per-thread loop runs on @p pool when one is given —
+     * bit-identical to the serial path.
+     */
+    RegionProfile profileRegion(const RegionTrace &region,
+                                ThreadPool *pool = nullptr);
 
     /**
      * Per-core MRU snapshot reflecting all regions profiled so far —

@@ -35,6 +35,12 @@ Rng::Rng(uint64_t seed_value)
     seed(seed_value);
 }
 
+Rng
+Rng::forTask(uint64_t seed_value, uint64_t stream)
+{
+    return Rng(hashMix(seed_value ^ stream));
+}
+
 void
 Rng::seed(uint64_t seed_value)
 {

@@ -30,11 +30,26 @@ uint64_t hashMix(uint64_t value);
  * Satisfies enough of UniformRandomBitGenerator for our own helpers;
  * all distribution helpers are provided as members so results do not
  * depend on libstdc++ distribution internals.
+ *
+ * Rng instances are NOT thread-safe and are never shared: every
+ * independently schedulable unit of work (a region, a workload
+ * thread's stream, a k-means restart) constructs its own generator
+ * via forTask(), keyed by a stable stream id — so parallel execution
+ * order can never perturb the random sequence any task observes.
  */
 class Rng
 {
   public:
     explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /**
+     * Generator for one unit of work: seeded from a base seed and a
+     * caller-chosen stream id (region index, thread id, ...). Tasks
+     * with distinct stream ids get decorrelated sequences, and the
+     * same (seed, stream) pair always yields the same sequence, on
+     * any thread, in any execution order.
+     */
+    static Rng forTask(uint64_t seed, uint64_t stream);
 
     /** Re-seed the generator deterministically. */
     void seed(uint64_t seed);

@@ -83,12 +83,12 @@ Bodytrack::generateRegion(unsigned index) const
                      part(4096));
         } else if (phase < 6) { // four particle-weight passes
             // Same code every pass -> one cluster with multiplier ~4/frame.
-            Rng rng(hashMix(params().seed ^ (0x520ull << 32) ^ t));
+            Rng rng = Rng::forTask(params().seed, (0x520ull << 32) ^ t);
             LoopSpec spec{.bb = 520, .aluPerMem = 5, .chunk = 24};
             emitGather(out, spec, model(), 0, scaled(kModel),
                        scaled(2048) / threads, rng, false);
         } else if (phase == 6) { // resampling: scatter, data dependent
-            Rng rng(hashMix(params().seed ^ (uint64_t{frame} << 36) ^ t));
+            Rng rng = Rng::forTask(params().seed, (uint64_t{frame} << 36) ^ t);
             LoopSpec spec{.bb = 540, .aluPerMem = 2, .chunk = 8,
                           .branchy = true};
             // Each thread owns a slice of the particle set.
@@ -98,7 +98,7 @@ Bodytrack::generateRegion(unsigned index) const
                        std::max<uint64_t>(1, slice.size()),
                        scaled(2048) / threads, rng, true);
         } else if (phase < 10) { // three annealing steps: compute heavy
-            Rng rng(hashMix(params().seed ^ (0x550ull << 32) ^ t));
+            Rng rng = Rng::forTask(params().seed, (0x550ull << 32) ^ t);
             LoopSpec alu_spec{.bb = 550, .aluPerMem = 0, .chunk = 48};
             emitAlu(out, alu_spec, scaled(8000) / threads);
             LoopSpec spec{.bb = 552, .aluPerMem = 3, .chunk = 24};

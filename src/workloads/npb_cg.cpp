@@ -91,7 +91,7 @@ NpbCg::generateRegion(unsigned index) const
 
             // Fixed per-thread seed: the matrix structure is constant,
             // so every mat-vec repeats the identical gather sequence.
-            Rng rng(hashMix(params().seed ^ (0x106ull << 32) ^ t));
+            Rng rng = Rng::forTask(params().seed, (0x106ull << 32) ^ t);
             LoopSpec gather_spec{.bb = 104, .aluPerMem = 1, .chunk = 16};
             emitGather(out, gather_spec, x(), window_lo, width,
                        scaled(2500), rng, false);

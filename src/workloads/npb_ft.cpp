@@ -114,7 +114,7 @@ NpbFt::generateRegion(unsigned index) const
             emitFftPass(out, 270, 32768, t);
             break;
           default: { // checksum: sparse sampled reduction (tiny region)
-            Rng rng(hashMix(params().seed ^ (0x277ull << 32) ^ t));
+            Rng rng = Rng::forTask(params().seed, (0x277ull << 32) ^ t);
             LoopSpec spec{.bb = 280, .aluPerMem = 2, .chunk = 16};
             emitGather(out, spec, u1(), 0, scaled(kGrid),
                        scaled(1024) / threads, rng, false);

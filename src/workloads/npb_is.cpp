@@ -69,7 +69,7 @@ NpbIs::generateRegion(unsigned index) const
         // 2. Histogram: scatter counts into this thread's private slice
         //    of the iteration's buckets (real IS keeps private counts
         //    and merges). The key distribution changes each iteration.
-        Rng hist_rng(hashMix(params().seed ^ (uint64_t{iter} << 40) ^ t));
+        Rng hist_rng = Rng::forTask(params().seed, (uint64_t{iter} << 40) ^ t);
         LoopSpec hist{.bb = 320, .aluPerMem = 2, .chunk = 16};
         const Range slice = blockPartition(bucket_lines, threads, t);
         emitGather(out, hist, buckets(), slice.lo,
@@ -77,7 +77,7 @@ NpbIs::generateRegion(unsigned index) const
                    scaled(8192) / threads, hist_rng, true);
 
         // 3. Rank: iteration-specific dominant loop (distinct code).
-        Rng rank_rng(hashMix(params().seed ^ (uint64_t{iter} << 48) ^ t));
+        Rng rank_rng = Rng::forTask(params().seed, (uint64_t{iter} << 48) ^ t);
         LoopSpec rank{.bb = 330 + iter, .aluPerMem = 2 + (iter % 3),
                       .chunk = 8, .branchy = true};
         emitGather(out, rank, buckets(), 0, bucket_lines,

@@ -13,6 +13,17 @@
  * Barrier counts are thread-count invariant (Figure 1 of the paper):
  * the same total work is partitioned over however many threads the
  * workload is instantiated with.
+ *
+ * Thread-safety contract: generateRegion() is const and must be
+ * *genuinely* const — callable concurrently from any number of
+ * threads for any mix of indices. Implementations therefore keep no
+ * mutable members and no shared RNG state: any randomness comes from
+ * a local Rng constructed with Rng::forTask(params().seed, stream),
+ * keyed by region/thread-derived stream ids, so a trace depends only
+ * on (workload parameters, region index) — never on which thread, or
+ * in which order, regions are generated. The parallel pipeline
+ * (support/thread_pool) relies on this for bit-identical results at
+ * any thread count.
  */
 
 #ifndef BP_WORKLOADS_WORKLOAD_H
@@ -50,7 +61,10 @@ class Workload
     /** Number of inter-barrier regions (== dynamic barrier count). */
     virtual unsigned regionCount() const = 0;
 
-    /** Regenerate the dynamic instruction streams of region @p index. */
+    /**
+     * Regenerate the dynamic instruction streams of region @p index.
+     * Must be safe to call concurrently (see the file comment).
+     */
     virtual RegionTrace generateRegion(unsigned index) const = 0;
 
   protected:

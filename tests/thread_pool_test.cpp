@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the support-layer thread pool: ordered result
+ * collection, exception propagation, pool reuse, re-entrancy, and the
+ * serial fallback paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/support/thread_pool.h"
+
+namespace bp {
+namespace {
+
+TEST(ThreadPoolTest, SingleExecutorRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    std::vector<int> order;
+    pool.parallelFor(0, 5, [&](uint64_t i) {
+        order.push_back(static_cast<int>(i));  // safe: inline serial
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ZeroSelectsHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), ThreadPool::hardwareThreads());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(0, n, [&](uint64_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    }, 7);
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelMapCollectsResultsInIndexOrder)
+{
+    ThreadPool pool(4);
+    const auto out = pool.parallelMap<uint64_t>(
+        1000, [](size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 1000u);
+    for (size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyInvocations)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<uint64_t> sum{0};
+        pool.parallelFor(0, 100, [&](uint64_t i) {
+            sum.fetch_add(i, std::memory_order_relaxed);
+        });
+        ASSERT_EQ(sum.load(), 4950u) << "round " << round;
+    }
+}
+
+TEST(ThreadPoolTest, ExceptionFromSmallestIndexPropagates)
+{
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(0, 256, [](uint64_t i) {
+            if (i % 64 == 3)  // throws at 3, 67, 131, 195
+                throw std::runtime_error("task " + std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task 3");
+    }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesOnSerialFallbackToo)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(0, 4,
+                                  [](uint64_t) {
+                                      throw std::logic_error("boom");
+                                  }),
+                 std::logic_error);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTaskAndFutureRethrows)
+{
+    ThreadPool pool(2);
+    std::atomic<bool> ran{false};
+    auto ok = pool.submit([&] { ran.store(true); });
+    ok.wait();
+    EXPECT_TRUE(ran.load());
+
+    auto bad = pool.submit([] { throw std::runtime_error("async"); });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDegradesToSerialNotDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<uint64_t> total{0};
+    // Outer tasks run on workers; their inner parallelFor must detect
+    // the re-entrancy and run inline instead of blocking on the queue.
+    pool.parallelFor(0, 8, [&](uint64_t) {
+        pool.parallelFor(0, 16, [&](uint64_t j) {
+            total.fetch_add(j, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(total.load(), 8u * 120u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp)
+{
+    ThreadPool pool(2);
+    bool touched = false;
+    pool.parallelFor(5, 5, [&](uint64_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolTest, NullPoolHelperRunsSerially)
+{
+    std::vector<int> order;
+    parallelFor(nullptr, 2, 6,
+                [&](uint64_t i) { order.push_back(static_cast<int>(i)); });
+    EXPECT_EQ(order, (std::vector<int>{2, 3, 4, 5}));
+}
+
+} // namespace
+} // namespace bp
