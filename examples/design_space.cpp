@@ -1,15 +1,26 @@
 /**
  * @file
- * Example: design-space exploration with a single analysis.
+ * Example: design-space exploration with a single persisted analysis.
  *
  * The paper's core promise: barrierpoints are selected once, in a
  * microarchitecture-independent way, then reused to compare machines.
- * This example evaluates one benchmark across four core counts,
- * simulating only the barrierpoints on each target, and compares the
- * predicted scaling curve against full reference simulations.
+ * This example runs the one-time analysis, persists it as an on-disk
+ * artifact, and then — as N independent per-machine jobs would —
+ * reloads it for each core count, simulating only the barrierpoints
+ * on each target and comparing the predicted scaling curve against
+ * full reference simulations. The same flow is scriptable across
+ * processes with the `bp` CLI:
+ *
+ *   bp profile --workload npb-cg -o cg.profile.bp
+ *   bp analyze --profile cg.profile.bp -o cg.analysis.bp
+ *   for m in 4-core 8-core 16-core 32-core; do
+ *     bp simulate --analysis cg.analysis.bp --machine $m \
+ *                 -o cg.$m.result.bp &
+ *   done
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/core/barrierpoint.h"
 #include "src/support/stats.h"
@@ -19,30 +30,41 @@ main(int argc, char **argv)
 {
     using namespace bp;
     const std::string name = argc > 1 ? argv[1] : "npb-cg";
+    const std::string artifact_path = "design_space.analysis.bp";
 
-    // One-time analysis at the default thread count.
-    WorkloadParams base_params;
-    base_params.threads = 8;
-    const auto base = makeWorkload(name, base_params);
-    const BarrierPointAnalysis analysis = analyzeWorkload(*base);
-    std::printf("%s: %zu barrierpoints selected once (8-thread "
-                "signatures)\n\n",
-                name.c_str(), analysis.points.size());
+    // One-time analysis at the default thread count, persisted once.
+    {
+        WorkloadParams base_params;
+        base_params.threads = 8;
+        const auto base = makeWorkload(name, base_params);
+        AnalysisArtifact artifact;
+        artifact.workload = WorkloadSpec::describe(*base);
+        artifact.analysis = analyzeWorkload(*base);
+        saveArtifact(artifact_path, artifact);
+        std::printf("%s: %zu barrierpoints selected once (8-thread "
+                    "signatures), cached in %s\n\n",
+                    name.c_str(), artifact.analysis.points.size(),
+                    artifact_path.c_str());
+    }
 
     std::printf("%-8s %14s %14s %10s %12s\n", "cores", "predicted(ms)",
                 "reference(ms)", "err%", "speedup");
 
     double first_predicted = 0.0;
     for (const unsigned cores : {4u, 8u, 16u, 32u}) {
-        WorkloadParams params;
+        // Per-design-point cost: reload the cached analysis (as an
+        // independent batch job would) and simulate only the
+        // barrierpoints.
+        const AnalysisArtifact artifact =
+            loadAnalysisArtifact(artifact_path);
+        WorkloadParams params = artifact.workload.params();
         params.threads = cores;
-        const auto workload = makeWorkload(name, params);
+        const auto workload = makeWorkload(artifact.workload.name, params);
         const MachineConfig machine = MachineConfig::withCores(cores);
 
-        // Per-design-point cost: simulate only the barrierpoints.
         const auto stats = simulateBarrierPoints(
-            *workload, machine, analysis, WarmupPolicy::MruReplay);
-        const Estimate estimate = reconstruct(analysis, stats);
+            *workload, machine, artifact.analysis, WarmupPolicy::MruReplay);
+        const Estimate estimate = reconstruct(artifact.analysis, stats);
 
         // Reference (what the methodology avoids paying every time).
         const RunResult reference = runReference(*workload, machine);
@@ -58,7 +80,8 @@ main(int argc, char **argv)
                     percentAbsError(predicted_ms, reference_ms),
                     first_predicted / predicted_ms);
     }
-    std::printf("\nThe same barrierpoints and multipliers served every "
-                "design point.\n");
+    std::printf("\nThe same persisted barrierpoints and multipliers served "
+                "every design point.\n");
+    std::remove(artifact_path.c_str());
     return 0;
 }

@@ -1,0 +1,209 @@
+#include "src/core/artifacts.h"
+
+#include "src/support/serialize.h"
+#include "src/workloads/registry.h"
+
+namespace bp {
+
+namespace {
+
+void
+serializeMruEntry(Serializer &s, const MruEntry &entry)
+{
+    s.u64(entry.line);
+    s.boolean(entry.written);
+    s.boolean(entry.llcDirty);
+}
+
+MruEntry
+deserializeMruEntry(Deserializer &d)
+{
+    MruEntry entry;
+    entry.line = d.u64();
+    entry.written = d.boolean();
+    entry.llcDirty = d.boolean();
+    return entry;
+}
+
+void
+serializeSnapshots(Serializer &s, const MruSnapshotSet &snapshots)
+{
+    s.size(snapshots.size());
+    for (const auto &per_core : snapshots) {
+        s.size(per_core.size());
+        for (const auto &entries : per_core) {
+            s.size(entries.size());
+            for (const MruEntry &entry : entries)
+                serializeMruEntry(s, entry);
+        }
+    }
+}
+
+MruSnapshotSet
+deserializeSnapshots(Deserializer &d)
+{
+    MruSnapshotSet snapshots(d.size());
+    for (auto &per_core : snapshots) {
+        per_core.resize(d.size());
+        for (auto &entries : per_core) {
+            const size_t n = d.size(10);
+            entries.reserve(n);
+            for (size_t i = 0; i < n; ++i)
+                entries.push_back(deserializeMruEntry(d));
+        }
+    }
+    return snapshots;
+}
+
+} // namespace
+
+WorkloadParams
+WorkloadSpec::params() const
+{
+    WorkloadParams p;
+    p.threads = threads;
+    p.scale = scale;
+    p.seed = seed;
+    return p;
+}
+
+std::unique_ptr<Workload>
+WorkloadSpec::instantiate() const
+{
+    return makeWorkload(name, params());
+}
+
+WorkloadSpec
+WorkloadSpec::describe(const Workload &workload)
+{
+    WorkloadSpec spec;
+    spec.name = workload.name();
+    spec.threads = workload.params().threads;
+    spec.scale = workload.params().scale;
+    spec.seed = workload.params().seed;
+    return spec;
+}
+
+void
+WorkloadSpec::serialize(Serializer &s) const
+{
+    s.str(name);
+    s.u32(threads);
+    s.f64(scale);
+    s.u64(seed);
+}
+
+void
+WorkloadSpec::deserialize(Deserializer &d)
+{
+    name = d.str();
+    threads = d.u32();
+    scale = d.f64();
+    seed = d.u64();
+}
+
+void
+saveArtifact(const std::string &path, const ProfileArtifact &artifact)
+{
+    Serializer s;
+    artifact.workload.serialize(s);
+    s.size(artifact.profiles.size());
+    for (const RegionProfile &profile : artifact.profiles)
+        profile.serialize(s);
+    writeArtifactFile(path, static_cast<uint32_t>(ArtifactKind::Profile), s);
+}
+
+ProfileArtifact
+loadProfileArtifact(const std::string &path)
+{
+    Deserializer d = readArtifactFile(
+        path, static_cast<uint32_t>(ArtifactKind::Profile));
+    ProfileArtifact artifact;
+    artifact.workload.deserialize(d);
+    artifact.profiles.resize(d.size());
+    for (RegionProfile &profile : artifact.profiles)
+        profile.deserialize(d);
+    d.expectEnd();
+    return artifact;
+}
+
+void
+saveArtifact(const std::string &path, const AnalysisArtifact &artifact)
+{
+    Serializer s;
+    artifact.workload.serialize(s);
+    artifact.analysis.serialize(s);
+    writeArtifactFile(path, static_cast<uint32_t>(ArtifactKind::Analysis), s);
+}
+
+AnalysisArtifact
+loadAnalysisArtifact(const std::string &path)
+{
+    Deserializer d = readArtifactFile(
+        path, static_cast<uint32_t>(ArtifactKind::Analysis));
+    AnalysisArtifact artifact;
+    artifact.workload.deserialize(d);
+    artifact.analysis.deserialize(d);
+    d.expectEnd();
+    return artifact;
+}
+
+void
+saveArtifact(const std::string &path, const SnapshotArtifact &artifact)
+{
+    Serializer s;
+    artifact.workload.serialize(s);
+    s.u64(artifact.capacityLines);
+    s.u64(artifact.privateLines);
+    s.size(artifact.regions.size());
+    for (const uint32_t region : artifact.regions)
+        s.u32(region);
+    serializeSnapshots(s, artifact.snapshots);
+    writeArtifactFile(path, static_cast<uint32_t>(ArtifactKind::Snapshots),
+                      s);
+}
+
+SnapshotArtifact
+loadSnapshotArtifact(const std::string &path)
+{
+    Deserializer d = readArtifactFile(
+        path, static_cast<uint32_t>(ArtifactKind::Snapshots));
+    SnapshotArtifact artifact;
+    artifact.workload.deserialize(d);
+    artifact.capacityLines = d.u64();
+    artifact.privateLines = d.u64();
+    artifact.regions.resize(d.size(4));
+    for (uint32_t &region : artifact.regions)
+        region = d.u32();
+    artifact.snapshots = deserializeSnapshots(d);
+    d.expectEnd();
+    return artifact;
+}
+
+void
+saveArtifact(const std::string &path, const RunResultArtifact &artifact)
+{
+    Serializer s;
+    artifact.workload.serialize(s);
+    s.str(artifact.machine);
+    s.str(artifact.flavor);
+    artifact.result.serialize(s);
+    writeArtifactFile(path, static_cast<uint32_t>(ArtifactKind::RunResult),
+                      s);
+}
+
+RunResultArtifact
+loadRunResultArtifact(const std::string &path)
+{
+    Deserializer d = readArtifactFile(
+        path, static_cast<uint32_t>(ArtifactKind::RunResult));
+    RunResultArtifact artifact;
+    artifact.workload.deserialize(d);
+    artifact.machine = d.str();
+    artifact.flavor = d.str();
+    artifact.result.deserialize(d);
+    d.expectEnd();
+    return artifact;
+}
+
+} // namespace bp

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * On-disk artifacts of the BarrierPoint pipeline.
+ *
+ * The paper's economy is that profiling and analysis are one-time,
+ * microarchitecture-independent costs while detailed simulation is
+ * paid per machine configuration. Artifacts make that split real
+ * across *processes*: each pipeline stage persists its output
+ * (support/serialize.h framing: versioned, checksummed, endian-stable)
+ * and the next stage — possibly a different job on a different day —
+ * reloads it instead of recomputing. Doubles round-trip bit-exactly,
+ * so an Estimate reconstructed from reloaded artifacts is
+ * bit-identical to the all-in-memory pipeline.
+ *
+ * Every artifact embeds the WorkloadSpec it was derived from, so a
+ * downstream stage can re-instantiate the workload by name (via the
+ * workload registry) and detect mismatched chains early.
+ */
+
+#ifndef BP_CORE_ARTIFACTS_H
+#define BP_CORE_ARTIFACTS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/core/selection.h"
+#include "src/profile/region_profiler.h"
+#include "src/sim/sim_stats.h"
+#include "src/workloads/workload.h"
+
+namespace bp {
+
+/** Artifact kind tags (the file header's kind field). */
+enum class ArtifactKind : uint32_t {
+    Profile = 1,    ///< per-region profiles of one workload
+    Analysis = 2,   ///< barrierpoint selection
+    Snapshots = 3,  ///< MRU warmup snapshots for the barrierpoints
+    RunResult = 4,  ///< per-region detailed-simulation stats
+};
+
+/**
+ * Everything needed to re-instantiate a workload: registry name plus
+ * the WorkloadParams it was built with. Serialized into every
+ * artifact so chained stages can verify they describe the same run.
+ */
+struct WorkloadSpec
+{
+    std::string name;
+    unsigned threads = 8;
+    double scale = 1.0;
+    uint64_t seed = 12345;
+
+    bool operator==(const WorkloadSpec &) const = default;
+
+    WorkloadParams params() const;
+
+    /** Build the workload through the registry (fatal on bad name). */
+    std::unique_ptr<Workload> instantiate() const;
+
+    /** Describe an existing workload instance. */
+    static WorkloadSpec describe(const Workload &workload);
+
+    void serialize(Serializer &s) const;
+    void deserialize(Deserializer &d);
+};
+
+/** Output of `bp profile`: the one-time profiling pass. */
+struct ProfileArtifact
+{
+    WorkloadSpec workload;
+    std::vector<RegionProfile> profiles;  ///< indexed by region
+};
+
+/** Output of `bp analyze`: the microarchitecture-independent part. */
+struct AnalysisArtifact
+{
+    WorkloadSpec workload;
+    BarrierPointAnalysis analysis;
+};
+
+/** Output of MRU capture for one (workload, capture-capacity) pair. */
+struct SnapshotArtifact
+{
+    WorkloadSpec workload;
+    uint64_t capacityLines = 0;  ///< per-core tracker capacity used
+    uint64_t privateLines = 0;   ///< dirtiness-filter capacity used
+    /**
+     * The barrierpoint regions the snapshots were captured at, in
+     * analysis.points order — a reused cache is only valid for an
+     * analysis selecting exactly these representatives.
+     */
+    std::vector<uint32_t> regions;
+    MruSnapshotSet snapshots;    ///< indexed like regions
+};
+
+/** Output of `bp simulate` / `bp reference`: per-region stats. */
+struct RunResultArtifact
+{
+    WorkloadSpec workload;
+    std::string machine;  ///< MachineConfig name the stats came from
+    std::string flavor;   ///< "reference", "barrierpoints-mru", ...
+    RunResult result;
+};
+
+void saveArtifact(const std::string &path, const ProfileArtifact &artifact);
+void saveArtifact(const std::string &path, const AnalysisArtifact &artifact);
+void saveArtifact(const std::string &path, const SnapshotArtifact &artifact);
+void saveArtifact(const std::string &path, const RunResultArtifact &artifact);
+
+/** Each loader throws SerializeError on any malformed input. */
+ProfileArtifact loadProfileArtifact(const std::string &path);
+AnalysisArtifact loadAnalysisArtifact(const std::string &path);
+SnapshotArtifact loadSnapshotArtifact(const std::string &path);
+RunResultArtifact loadRunResultArtifact(const std::string &path);
+
+} // namespace bp
+
+#endif // BP_CORE_ARTIFACTS_H

@@ -16,6 +16,7 @@
 #ifndef BP_CORE_BARRIERPOINT_H
 #define BP_CORE_BARRIERPOINT_H
 
+#include "src/core/artifacts.h"
 #include "src/core/kmeans.h"
 #include "src/core/pipeline.h"
 #include "src/core/reconstruction.h"

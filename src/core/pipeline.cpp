@@ -147,21 +147,22 @@ runReference(const Workload &workload, const MachineConfig &machine)
                            });
 }
 
-std::vector<std::vector<std::vector<MruEntry>>>
+MruSnapshotSet
 captureMruSnapshots(const Workload &workload,
                     const std::vector<uint32_t> &regions,
                     uint64_t capacity_lines, uint64_t private_lines)
 {
     BP_ASSERT(capacity_lines > 0, "MRU capacity must be positive");
 
-    std::vector<std::vector<std::vector<MruEntry>>> snapshots(
-        regions.size());
+    MruSnapshotSet snapshots(regions.size());
     if (regions.empty())
         return snapshots;
 
     const uint32_t last =
         *std::max_element(regions.begin(), regions.end());
     const unsigned threads = workload.threadCount();
+    BP_ASSERT(threads <= 64,
+              "coherence holder mask supports at most 64 threads");
 
     // region -> snapshot slots wanting it, so per-region capture cost
     // does not scale with #barrierpoints x #regions.
@@ -181,7 +182,7 @@ captureMruSnapshots(const Workload &workload,
     // mask and last-writer per line.
     struct LineCoherence
     {
-        uint32_t holders = 0;
+        uint64_t holders = 0;
         int8_t writer = -1;
     };
     std::unordered_map<uint64_t, LineCoherence> coherence;
@@ -219,14 +220,14 @@ captureMruSnapshots(const Workload &workload,
                 const bool write = op.kind == OpKind::Store;
                 LineCoherence &lc = coherence[line];
                 if (write) {
-                    uint32_t others = lc.holders & ~(1u << t);
+                    uint64_t others = lc.holders & ~(1ull << t);
                     while (others) {
                         const unsigned other = static_cast<unsigned>(
                             std::countr_zero(others));
                         others &= others - 1;
                         trackers[other].invalidateLine(line);
                     }
-                    lc.holders = 1u << t;
+                    lc.holders = 1ull << t;
                     lc.writer = static_cast<int8_t>(t);
                 } else {
                     if (lc.writer >= 0 &&
@@ -234,7 +235,7 @@ captureMruSnapshots(const Workload &workload,
                         trackers[lc.writer].downgradeLine(line);
                         lc.writer = -1;
                     }
-                    lc.holders |= 1u << t;
+                    lc.holders |= 1ull << t;
                 }
                 trackers[t].access(line, write);
             }
@@ -252,21 +253,29 @@ simulateBarrierPoints(const Workload &workload, const MachineConfig &machine,
     return simulateBarrierPoints(workload, machine, analysis, policy, pool);
 }
 
+MruSnapshotSet
+captureAnalysisSnapshots(const Workload &workload,
+                         const MachineConfig &machine,
+                         const BarrierPointAnalysis &analysis)
+{
+    std::vector<uint32_t> regions;
+    regions.reserve(analysis.points.size());
+    for (const auto &point : analysis.points)
+        regions.push_back(point.region);
+    return captureMruSnapshots(workload, regions,
+                               mruCapacityLines(machine),
+                               mruPrivateLines(machine));
+}
+
 std::vector<RegionStats>
 simulateBarrierPoints(const Workload &workload, const MachineConfig &machine,
                       const BarrierPointAnalysis &analysis,
                       WarmupPolicy policy, ThreadPool &pool)
 {
-    std::vector<std::vector<std::vector<MruEntry>>> snapshots;
     if (policy == WarmupPolicy::MruReplay) {
-        std::vector<uint32_t> regions;
-        regions.reserve(analysis.points.size());
-        for (const auto &point : analysis.points)
-            regions.push_back(point.region);
-        const uint64_t capacity_lines = machine.mem.l3.numLines() *
-            machine.mem.numSockets();
-        snapshots = captureMruSnapshots(workload, regions, capacity_lines,
-                                        machine.mem.l2.numLines());
+        return simulateBarrierPoints(
+            workload, machine, analysis,
+            captureAnalysisSnapshots(workload, machine, analysis), pool);
     }
 
     // Every barrierpoint gets a fresh MultiCoreSim and its own trace,
@@ -275,12 +284,35 @@ simulateBarrierPoints(const Workload &workload, const MachineConfig &machine,
     return pool.parallelMap<RegionStats>(
         analysis.points.size(), [&](size_t j) {
             MultiCoreSim sim(machine);
+            return sim.simulateRegion(
+                workload.generateRegion(analysis.points[j].region));
+        });
+}
+
+std::vector<RegionStats>
+simulateBarrierPoints(const Workload &workload, const MachineConfig &machine,
+                      const BarrierPointAnalysis &analysis,
+                      const MruSnapshotSet &snapshots, unsigned threads)
+{
+    ThreadPool pool(threads);
+    return simulateBarrierPoints(workload, machine, analysis, snapshots,
+                                 pool);
+}
+
+std::vector<RegionStats>
+simulateBarrierPoints(const Workload &workload, const MachineConfig &machine,
+                      const BarrierPointAnalysis &analysis,
+                      const MruSnapshotSet &snapshots, ThreadPool &pool)
+{
+    BP_ASSERT(snapshots.size() == analysis.points.size(),
+              "need one MRU snapshot per barrierpoint");
+    return pool.parallelMap<RegionStats>(
+        analysis.points.size(), [&](size_t j) {
+            MultiCoreSim sim(machine);
             const RegionTrace trace =
                 workload.generateRegion(analysis.points[j].region);
-            if (policy == WarmupPolicy::MruReplay) {
-                sim.warmupReplay(snapshots[j]);
-                sim.trainPredictors(trace);
-            }
+            sim.warmupReplay(snapshots[j]);
+            sim.trainPredictors(trace);
             return sim.simulateRegion(trace);
         });
 }

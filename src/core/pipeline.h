@@ -112,6 +112,23 @@ enum class WarmupPolicy {
     MruReplay,  ///< replay each core's MRU lines (the paper's method)
 };
 
+/** One MRU snapshot (per-core entry lists) per requested region. */
+using MruSnapshotSet = std::vector<std::vector<std::vector<MruEntry>>>;
+
+/** Per-core MRU capture capacity the MruReplay policy uses. */
+inline uint64_t
+mruCapacityLines(const MachineConfig &machine)
+{
+    return machine.mem.l3.numLines() * machine.mem.numSockets();
+}
+
+/** Private-cache capacity for the MRU dirtiness filter. */
+inline uint64_t
+mruPrivateLines(const MachineConfig &machine)
+{
+    return machine.mem.l2.numLines();
+}
+
 /**
  * Capture per-core MRU snapshots at the start of each listed region.
  *
@@ -125,9 +142,19 @@ enum class WarmupPolicy {
  * @return one snapshot (per-core entry lists, LRU->MRU) per requested
  *         region, keyed by position in @p regions
  */
-std::vector<std::vector<std::vector<MruEntry>>> captureMruSnapshots(
+MruSnapshotSet captureMruSnapshots(
     const Workload &workload, const std::vector<uint32_t> &regions,
     uint64_t capacity_lines, uint64_t private_lines = 4096);
+
+/**
+ * Capture MRU snapshots at every barrierpoint of @p analysis, sized
+ * for @p machine — exactly the warmup data the MruReplay policy
+ * computes internally, exposed so it can be captured once, persisted,
+ * and reused across simulations (see core/artifacts.h).
+ */
+MruSnapshotSet captureAnalysisSnapshots(const Workload &workload,
+                                        const MachineConfig &machine,
+                                        const BarrierPointAnalysis &analysis);
 
 /**
  * Simulate every barrierpoint in isolation on @p machine.
@@ -151,6 +178,22 @@ std::vector<RegionStats> simulateBarrierPoints(
 std::vector<RegionStats> simulateBarrierPoints(
     const Workload &workload, const MachineConfig &machine,
     const BarrierPointAnalysis &analysis, WarmupPolicy policy,
+    ThreadPool &pool);
+
+/**
+ * MruReplay simulation with pre-captured snapshots (as produced by
+ * captureAnalysisSnapshots(), possibly reloaded from disk), skipping
+ * the capture pass. @p snapshots must be indexed like analysis.points.
+ */
+std::vector<RegionStats> simulateBarrierPoints(
+    const Workload &workload, const MachineConfig &machine,
+    const BarrierPointAnalysis &analysis, const MruSnapshotSet &snapshots,
+    unsigned threads = 1);
+
+/** As above, on an existing pool. */
+std::vector<RegionStats> simulateBarrierPoints(
+    const Workload &workload, const MachineConfig &machine,
+    const BarrierPointAnalysis &analysis, const MruSnapshotSet &snapshots,
     ThreadPool &pool);
 
 } // namespace bp

@@ -5,8 +5,56 @@
 
 #include "src/core/signature.h"
 #include "src/support/logging.h"
+#include "src/support/serialize.h"
 
 namespace bp {
+
+void
+BarrierPoint::serialize(Serializer &s) const
+{
+    s.u32(region);
+    s.u32(cluster);
+    s.f64(multiplier);
+    s.f64(weightFraction);
+    s.u64(instructions);
+    s.boolean(significant);
+}
+
+void
+BarrierPoint::deserialize(Deserializer &d)
+{
+    region = d.u32();
+    cluster = d.u32();
+    multiplier = d.f64();
+    weightFraction = d.f64();
+    instructions = d.u64();
+    significant = d.boolean();
+}
+
+void
+BarrierPointAnalysis::serialize(Serializer &s) const
+{
+    s.size(points.size());
+    for (const BarrierPoint &point : points)
+        point.serialize(s);
+    s.u32vec(regionToPoint);
+    s.u64vec(regionInstructions);
+    s.f64vec(bicByK);
+    s.u32(chosenK);
+}
+
+void
+BarrierPointAnalysis::deserialize(Deserializer &d)
+{
+    points.clear();
+    points.resize(d.size());
+    for (BarrierPoint &point : points)
+        point.deserialize(d);
+    regionToPoint = d.u32vec();
+    regionInstructions = d.u64vec();
+    bicByK = d.f64vec();
+    chosenK = d.u32();
+}
 
 uint64_t
 BarrierPointAnalysis::totalInstructions() const
@@ -131,10 +179,18 @@ selectBarrierPoints(const ClusteringResult &clustering,
                   return representative[a] < representative[b];
               });
 
-    std::vector<unsigned> cluster_to_point(km.k, 0);
+    // Every cluster with at least one assigned region gets a
+    // barrierpoint, even when the cluster's aggregate instruction
+    // count is zero: skipping it would leave regionToPoint pointing
+    // at the cluster_to_point default and silently mis-attribute its
+    // regions to the first barrierpoint. Only clusters no region maps
+    // to (possible when k-means leaves a centroid unused) are
+    // skipped; their cluster_to_point slot is never read.
+    constexpr unsigned kNoPoint = std::numeric_limits<unsigned>::max();
+    std::vector<unsigned> cluster_to_point(km.k, kNoPoint);
     for (const unsigned c : cluster_order) {
-        if (cluster_instructions[c] == 0)
-            continue;  // empty cluster: nothing to represent
+        if (candidates[c].empty())
+            continue;  // no region assigned: nothing to represent
         BarrierPoint point;
         point.region = representative[c];
         point.cluster = c;
@@ -153,8 +209,11 @@ selectBarrierPoints(const ClusteringResult &clustering,
     }
 
     analysis.regionToPoint.resize(n);
-    for (size_t i = 0; i < n; ++i)
-        analysis.regionToPoint[i] = cluster_to_point[km.assignment[i]];
+    for (size_t i = 0; i < n; ++i) {
+        const unsigned j = cluster_to_point[km.assignment[i]];
+        BP_ASSERT(j != kNoPoint, "region assigned to an unemitted cluster");
+        analysis.regionToPoint[i] = j;
+    }
 
     return analysis;
 }

@@ -21,6 +21,9 @@
 
 namespace bp {
 
+class Serializer;
+class Deserializer;
+
 /** One selected representative region. */
 struct BarrierPoint
 {
@@ -30,6 +33,9 @@ struct BarrierPoint
     double weightFraction = 0.0; ///< cluster share of total instructions
     uint64_t instructions = 0;   ///< the barrierpoint's own length
     bool significant = true;     ///< weightFraction >= threshold
+
+    void serialize(Serializer &s) const;
+    void deserialize(Deserializer &d);
 };
 
 /** Complete output of the one-time BarrierPoint analysis. */
@@ -63,6 +69,10 @@ struct BarrierPointAnalysis
      * parallel versus only the barrierpoints (the paper's 78x).
      */
     double resourceReduction() const;
+
+    /** Bit-exact round trip: doubles travel as IEEE-754 images. */
+    void serialize(Serializer &s) const;
+    void deserialize(Deserializer &d);
 };
 
 /**

@@ -109,10 +109,18 @@ buildSignature(const RegionProfile &profile, const SignatureConfig &config)
                                   ldv.end());
     }
     if (config.kind == SignatureKind::Combined) {
-        // Both halves have unit L1 mass; rescale to keep the overall
-        // vector normalized.
-        for (auto &[id, value] : signature.features)
-            value *= 0.5;
+        // Each half has unit L1 mass — unless it is empty (e.g. no
+        // memory ops -> empty LDV), in which case blindly halving
+        // would leave the whole vector at mass 0.5 and skew distances
+        // against fully-populated regions. Renormalize the merged
+        // vector to unit mass instead.
+        double total = 0.0;
+        for (const auto &[id, value] : signature.features)
+            total += value;
+        if (total > 0.0) {
+            for (auto &[id, value] : signature.features)
+                value /= total;
+        }
     }
     return signature;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/logging.h"
+#include "src/support/serialize.h"
 #include "src/trace/micro_op.h"
 
 namespace bp {
@@ -43,6 +44,36 @@ MemStats::delta(const MemStats &other) const
     d.upgrades = upgrades - other.upgrades;
     d.llcMisses = llcMisses - other.llcMisses;
     return d;
+}
+
+void
+MemStats::serialize(Serializer &s) const
+{
+    s.u64(accesses);
+    s.u64(l1Hits);
+    s.u64(l2Hits);
+    s.u64(l3Hits);
+    s.u64(remoteHits);
+    s.u64(dramReads);
+    s.u64(dramWrites);
+    s.u64(invalidations);
+    s.u64(upgrades);
+    s.u64(llcMisses);
+}
+
+void
+MemStats::deserialize(Deserializer &d)
+{
+    accesses = d.u64();
+    l1Hits = d.u64();
+    l2Hits = d.u64();
+    l3Hits = d.u64();
+    remoteHits = d.u64();
+    dramReads = d.u64();
+    dramWrites = d.u64();
+    invalidations = d.u64();
+    upgrades = d.u64();
+    llcMisses = d.u64();
 }
 
 MemSystem::MemSystem(const MemSystemConfig &config)

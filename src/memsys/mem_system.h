@@ -32,6 +32,9 @@
 
 namespace bp {
 
+class Serializer;
+class Deserializer;
+
 /** Where an access was satisfied. */
 enum class MemLevel : uint8_t {
     L1,
@@ -83,6 +86,9 @@ struct MemStats
 
     /** @return dramReads + dramWrites. */
     uint64_t dramAccesses() const { return dramReads + dramWrites; }
+
+    void serialize(Serializer &s) const;
+    void deserialize(Deserializer &d);
 };
 
 /** Timing outcome of one access. */

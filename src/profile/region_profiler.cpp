@@ -1,6 +1,9 @@
 #include "src/profile/region_profiler.h"
 
+#include <algorithm>
+
 #include "src/support/logging.h"
+#include "src/support/serialize.h"
 #include "src/support/thread_pool.h"
 
 namespace bp {
@@ -21,6 +24,72 @@ RegionProfile::memOps() const
     for (const auto &thread : threads)
         total += thread.memOps;
     return total;
+}
+
+void
+ThreadProfile::serialize(Serializer &s) const
+{
+    std::vector<std::pair<uint32_t, uint64_t>> sorted(bbv.begin(),
+                                                      bbv.end());
+    std::sort(sorted.begin(), sorted.end());
+    s.size(sorted.size());
+    for (const auto &[bb, count] : sorted) {
+        s.u32(bb);
+        s.u64(count);
+    }
+
+    s.size(ldv.numBuckets());
+    for (unsigned b = 0; b < ldv.numBuckets(); ++b)
+        s.u64(ldv.bucket(b));
+
+    s.u64(instructions);
+    s.u64(memOps);
+    s.u64(coldAccesses);
+}
+
+void
+ThreadProfile::deserialize(Deserializer &d)
+{
+    bbv.clear();
+    const size_t bbs = d.size();
+    bbv.reserve(bbs);
+    for (size_t i = 0; i < bbs; ++i) {
+        const uint32_t bb = d.u32();
+        bbv[bb] = d.u64();
+    }
+
+    ldv.clear();
+    const size_t buckets = d.size();
+    if (buckets != ldv.numBuckets())
+        throw SerializeError("LDV bucket count mismatch");
+    for (unsigned b = 0; b < buckets; ++b) {
+        const uint64_t count = d.u64();
+        if (count > 0)
+            ldv.add(Pow2Histogram::bucketLow(b), count);
+    }
+
+    instructions = d.u64();
+    memOps = d.u64();
+    coldAccesses = d.u64();
+}
+
+void
+RegionProfile::serialize(Serializer &s) const
+{
+    s.u32(regionIndex);
+    s.size(threads.size());
+    for (const ThreadProfile &thread : threads)
+        thread.serialize(s);
+}
+
+void
+RegionProfile::deserialize(Deserializer &d)
+{
+    regionIndex = d.u32();
+    threads.clear();
+    threads.resize(d.size());
+    for (ThreadProfile &thread : threads)
+        thread.deserialize(d);
 }
 
 RegionProfiler::RegionProfiler(unsigned threads,

@@ -26,6 +26,8 @@
 namespace bp {
 
 class ThreadPool;
+class Serializer;
+class Deserializer;
 
 /** One thread's profile of one inter-barrier region. */
 struct ThreadProfile
@@ -35,6 +37,10 @@ struct ThreadProfile
     uint64_t instructions = 0;
     uint64_t memOps = 0;
     uint64_t coldAccesses = 0;
+
+    /** Byte-stable: BBV entries are written in ascending bb order. */
+    void serialize(Serializer &s) const;
+    void deserialize(Deserializer &d);
 };
 
 /** All threads' profiles of one inter-barrier region. */
@@ -48,6 +54,9 @@ struct RegionProfile
 
     /** @return aggregate memory operation count across threads. */
     uint64_t memOps() const;
+
+    void serialize(Serializer &s) const;
+    void deserialize(Deserializer &d);
 };
 
 /** Streaming profiler; feed regions in execution order. */

@@ -23,6 +23,29 @@ MachineConfig::withCores(unsigned cores)
 }
 
 MachineConfig
+MachineConfig::byName(const std::string &name)
+{
+    const std::string suffix = "-core";
+    const size_t at = name.rfind(suffix);
+    if (at == std::string::npos || at == 0 ||
+        at + suffix.size() != name.size())
+        fatal("unknown machine '%s' (expected '<N>-core', N in [1, 32])",
+              name.c_str());
+    unsigned cores = 0;
+    for (size_t i = 0; i < at; ++i) {
+        const char c = name[i];
+        if (c < '0' || c > '9' || cores > 32)
+            fatal("unknown machine '%s' (expected '<N>-core', N in [1, 32])",
+                  name.c_str());
+        cores = cores * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (cores < 1 || cores > 32)
+        fatal("unknown machine '%s' (expected '<N>-core', N in [1, 32])",
+              name.c_str());
+    return withCores(cores);
+}
+
+MachineConfig
 MachineConfig::cores8()
 {
     return withCores(8);

@@ -68,6 +68,13 @@ struct MachineConfig
 
     /** A machine with @p cores cores (8 per socket), for sweeps. */
     static MachineConfig withCores(unsigned cores);
+
+    /**
+     * Look up a configuration by its name() string, e.g. "8-core",
+     * "32-core", or any "<N>-core" with N in [1, 32]. Calls fatal()
+     * on an unparseable name (user error).
+     */
+    static MachineConfig byName(const std::string &name);
 };
 
 } // namespace bp

@@ -1,5 +1,7 @@
 #include "src/sim/sim_stats.h"
 
+#include "src/support/serialize.h"
+
 namespace bp {
 
 double
@@ -24,6 +26,44 @@ RegionStats::llcMpki() const
         return 0.0;
     return 1000.0 * static_cast<double>(mem.llcMisses) /
         static_cast<double>(instructions);
+}
+
+void
+RegionStats::serialize(Serializer &s) const
+{
+    s.u32(regionIndex);
+    s.u64(instructions);
+    s.f64(cycles);
+    s.f64(startCycle);
+    s.u64(mispredicts);
+    mem.serialize(s);
+}
+
+void
+RegionStats::deserialize(Deserializer &d)
+{
+    regionIndex = d.u32();
+    instructions = d.u64();
+    cycles = d.f64();
+    startCycle = d.f64();
+    mispredicts = d.u64();
+    mem.deserialize(d);
+}
+
+void
+RunResult::serialize(Serializer &s) const
+{
+    s.size(regions.size());
+    for (const RegionStats &region : regions)
+        region.serialize(s);
+}
+
+void
+RunResult::deserialize(Deserializer &d)
+{
+    regions.resize(d.size());
+    for (RegionStats &region : regions)
+        region.deserialize(d);
 }
 
 double

@@ -31,6 +31,9 @@ struct RegionStats
 
     /** LLC misses per kilo-instruction. */
     double llcMpki() const;
+
+    void serialize(Serializer &s) const;
+    void deserialize(Deserializer &d);
 };
 
 /** Results of simulating a full application run region by region. */
@@ -47,6 +50,9 @@ struct RunResult
 
     /** Whole-run DRAM APKI. */
     double dramApki() const;
+
+    void serialize(Serializer &s) const;
+    void deserialize(Deserializer &d);
 };
 
 } // namespace bp

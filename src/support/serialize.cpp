@@ -1,0 +1,293 @@
+#include "src/support/serialize.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+namespace bp {
+
+namespace {
+
+// "BPARTFCT" as little-endian u64.
+constexpr uint64_t kMagic = 0x544346'5452415042ull;
+
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8;
+
+void
+appendLe(std::vector<uint8_t> &out, uint64_t v, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint64_t
+readLe(const uint8_t *p, unsigned bytes)
+{
+    uint64_t v = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+void
+Serializer::u8(uint8_t v)
+{
+    buffer_.push_back(v);
+}
+
+void
+Serializer::u32(uint32_t v)
+{
+    appendLe(buffer_, v, 4);
+}
+
+void
+Serializer::u64(uint64_t v)
+{
+    appendLe(buffer_, v, 8);
+}
+
+void
+Serializer::i8(int8_t v)
+{
+    buffer_.push_back(static_cast<uint8_t>(v));
+}
+
+void
+Serializer::f64(double v)
+{
+    appendLe(buffer_, std::bit_cast<uint64_t>(v), 8);
+}
+
+void
+Serializer::boolean(bool v)
+{
+    buffer_.push_back(v ? 1 : 0);
+}
+
+void
+Serializer::str(const std::string &v)
+{
+    size(v.size());
+    buffer_.insert(buffer_.end(), v.begin(), v.end());
+}
+
+void
+Serializer::size(size_t n)
+{
+    u64(static_cast<uint64_t>(n));
+}
+
+void
+Serializer::u32vec(const std::vector<unsigned> &v)
+{
+    size(v.size());
+    for (const unsigned x : v)
+        u32(static_cast<uint32_t>(x));
+}
+
+void
+Serializer::u64vec(const std::vector<uint64_t> &v)
+{
+    size(v.size());
+    for (const uint64_t x : v)
+        u64(x);
+}
+
+void
+Serializer::f64vec(const std::vector<double> &v)
+{
+    size(v.size());
+    for (const double x : v)
+        f64(x);
+}
+
+Deserializer::Deserializer(std::vector<uint8_t> bytes)
+    : bytes_(std::move(bytes))
+{
+}
+
+const uint8_t *
+Deserializer::need(size_t n)
+{
+    if (n > remaining())
+        throw SerializeError("truncated artifact: wanted " +
+                             std::to_string(n) + " bytes, " +
+                             std::to_string(remaining()) + " left");
+    const uint8_t *p = bytes_.data() + pos_;
+    pos_ += n;
+    return p;
+}
+
+uint8_t
+Deserializer::u8()
+{
+    return *need(1);
+}
+
+uint32_t
+Deserializer::u32()
+{
+    return static_cast<uint32_t>(readLe(need(4), 4));
+}
+
+uint64_t
+Deserializer::u64()
+{
+    return readLe(need(8), 8);
+}
+
+int8_t
+Deserializer::i8()
+{
+    return static_cast<int8_t>(*need(1));
+}
+
+double
+Deserializer::f64()
+{
+    return std::bit_cast<double>(readLe(need(8), 8));
+}
+
+bool
+Deserializer::boolean()
+{
+    const uint8_t v = *need(1);
+    if (v > 1)
+        throw SerializeError("corrupt boolean value");
+    return v != 0;
+}
+
+std::string
+Deserializer::str()
+{
+    const size_t n = size();
+    const uint8_t *p = need(n);
+    return std::string(reinterpret_cast<const char *>(p), n);
+}
+
+size_t
+Deserializer::size(size_t min_elem_bytes)
+{
+    const uint64_t n = u64();
+    if (min_elem_bytes > 0 && n > remaining() / min_elem_bytes)
+        throw SerializeError("corrupt element count " +
+                             std::to_string(n));
+    return static_cast<size_t>(n);
+}
+
+std::vector<unsigned>
+Deserializer::u32vec()
+{
+    const size_t n = size(4);
+    std::vector<unsigned> v(n);
+    for (size_t i = 0; i < n; ++i)
+        v[i] = u32();
+    return v;
+}
+
+std::vector<uint64_t>
+Deserializer::u64vec()
+{
+    const size_t n = size(8);
+    std::vector<uint64_t> v(n);
+    for (size_t i = 0; i < n; ++i)
+        v[i] = u64();
+    return v;
+}
+
+std::vector<double>
+Deserializer::f64vec()
+{
+    const size_t n = size(8);
+    std::vector<double> v(n);
+    for (size_t i = 0; i < n; ++i)
+        v[i] = f64();
+    return v;
+}
+
+void
+Deserializer::expectEnd() const
+{
+    if (remaining() != 0)
+        throw SerializeError(std::to_string(remaining()) +
+                             " trailing bytes after artifact payload");
+}
+
+uint64_t
+fnv1aHash(const uint8_t *data, size_t size)
+{
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < size; ++i)
+        hash = (hash ^ data[i]) * 0x100000001b3ull;
+    return hash;
+}
+
+void
+writeArtifactFile(const std::string &path, uint32_t kind,
+                  const Serializer &payload)
+{
+    const std::vector<uint8_t> &body = payload.buffer();
+    std::vector<uint8_t> header;
+    header.reserve(kHeaderBytes);
+    appendLe(header, kMagic, 8);
+    appendLe(header, kArtifactVersion, 4);
+    appendLe(header, kind, 4);
+    appendLe(header, body.size(), 8);
+    appendLe(header, fnv1aHash(body.data(), body.size()), 8);
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        throw SerializeError("cannot open '" + path + "' for writing");
+    const bool ok =
+        std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
+        (body.empty() ||
+         std::fwrite(body.data(), 1, body.size(), f) == body.size());
+    const bool closed = std::fclose(f) == 0;
+    if (!ok || !closed)
+        throw SerializeError("short write to '" + path + "'");
+}
+
+Deserializer
+readArtifactFile(const std::string &path, uint32_t kind)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw SerializeError("cannot open artifact '" + path + "'");
+    std::vector<uint8_t> bytes;
+    uint8_t chunk[65536];
+    size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + got);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error)
+        throw SerializeError("I/O error reading '" + path + "'");
+
+    if (bytes.size() < kHeaderBytes)
+        throw SerializeError("'" + path + "' is too short to be an artifact");
+    const uint8_t *h = bytes.data();
+    if (readLe(h, 8) != kMagic)
+        throw SerializeError("'" + path + "' is not a BarrierPoint artifact");
+    const uint32_t version = static_cast<uint32_t>(readLe(h + 8, 4));
+    if (version != kArtifactVersion)
+        throw SerializeError("'" + path + "': unsupported artifact version " +
+                             std::to_string(version));
+    const uint32_t file_kind = static_cast<uint32_t>(readLe(h + 12, 4));
+    if (file_kind != kind)
+        throw SerializeError("'" + path + "': artifact kind " +
+                             std::to_string(file_kind) + ", expected " +
+                             std::to_string(kind));
+    const uint64_t payload_size = readLe(h + 16, 8);
+    if (payload_size != bytes.size() - kHeaderBytes)
+        throw SerializeError("'" + path + "': payload length mismatch");
+    const uint64_t checksum = readLe(h + 24, 8);
+    std::vector<uint8_t> payload(bytes.begin() + kHeaderBytes, bytes.end());
+    if (fnv1aHash(payload.data(), payload.size()) != checksum)
+        throw SerializeError("'" + path + "': payload checksum mismatch");
+    return Deserializer(std::move(payload));
+}
+
+} // namespace bp

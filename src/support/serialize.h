@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Versioned binary (de)serialization for on-disk artifacts.
+ *
+ * The byte format is endian-stable (everything is written as
+ * little-endian byte sequences regardless of host order), integers
+ * are fixed-width, doubles travel as their IEEE-754 bit image (so a
+ * save/load round trip is bit-exact), and variable-length data is
+ * length-prefixed. Files are framed with a magic/version/kind header
+ * plus an FNV-1a checksum of the payload; every read is
+ * bounds-checked. Malformed input surfaces as SerializeError — never
+ * as undefined behaviour or a partial struct.
+ */
+
+#ifndef BP_SUPPORT_SERIALIZE_H
+#define BP_SUPPORT_SERIALIZE_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bp {
+
+/** Thrown on truncated, corrupted, or mismatched artifact data. */
+class SerializeError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** On-disk artifact format version; bump on any layout change. */
+constexpr uint32_t kArtifactVersion = 1;
+
+/** Append-only little-endian byte sink. */
+class Serializer
+{
+  public:
+    void u8(uint8_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void i8(int8_t v);
+    /** Bit-exact: writes the IEEE-754 image of @p v. */
+    void f64(double v);
+    void boolean(bool v);
+    /** Length-prefixed byte string. */
+    void str(const std::string &v);
+    /** Element count prefix (u64). */
+    void size(size_t n);
+
+    void u32vec(const std::vector<unsigned> &v);
+    void u64vec(const std::vector<uint64_t> &v);
+    void f64vec(const std::vector<double> &v);
+
+    const std::vector<uint8_t> &buffer() const { return buffer_; }
+
+  private:
+    std::vector<uint8_t> buffer_;
+};
+
+/** Bounds-checked reader over a byte buffer; throws SerializeError. */
+class Deserializer
+{
+  public:
+    explicit Deserializer(std::vector<uint8_t> bytes);
+
+    uint8_t u8();
+    uint32_t u32();
+    uint64_t u64();
+    int8_t i8();
+    double f64();
+    bool boolean();
+    std::string str();
+
+    /**
+     * Read an element count and sanity-check it against the bytes
+     * actually remaining (>= @p min_elem_bytes each), so a corrupted
+     * length cannot drive a huge allocation.
+     */
+    size_t size(size_t min_elem_bytes = 1);
+
+    std::vector<unsigned> u32vec();
+    std::vector<uint64_t> u64vec();
+    std::vector<double> f64vec();
+
+    size_t remaining() const { return bytes_.size() - pos_; }
+
+    /** Throw unless every byte has been consumed. */
+    void expectEnd() const;
+
+  private:
+    const uint8_t *need(size_t n);
+
+    std::vector<uint8_t> bytes_;
+    size_t pos_ = 0;
+};
+
+/** 64-bit FNV-1a hash (the artifact payload checksum). */
+uint64_t fnv1aHash(const uint8_t *data, size_t size);
+
+/**
+ * Frame @p payload with the artifact header (magic, version, kind,
+ * payload length, checksum) and write it to @p path atomically-ish
+ * (write then flush; throws SerializeError on any I/O failure).
+ */
+void writeArtifactFile(const std::string &path, uint32_t kind,
+                       const Serializer &payload);
+
+/**
+ * Read @p path, validate the header against @p kind and the checksum,
+ * and return a Deserializer positioned at the start of the payload.
+ */
+Deserializer readArtifactFile(const std::string &path, uint32_t kind);
+
+} // namespace bp
+
+#endif // BP_SUPPORT_SERIALIZE_H

@@ -10,8 +10,11 @@ namespace bp {
 Workload::Workload(std::string name, const WorkloadParams &params)
     : name_(std::move(name)), params_(params)
 {
-    BP_ASSERT(params_.threads >= 1 && params_.threads <= 32,
-              "thread count must be in [1, 32]");
+    // Profiling-side structures (coherence holder masks) support up
+    // to 64 threads; simulation machines are separately capped at 32
+    // cores by MachineConfig::withCores.
+    BP_ASSERT(params_.threads >= 1 && params_.threads <= 64,
+              "thread count must be in [1, 64]");
     BP_ASSERT(params_.scale > 0.0, "scale must be positive");
     uint64_t name_hash = 0xcbf29ce484222325ull;
     for (const char c : name_)

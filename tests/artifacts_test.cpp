@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Tests for artifact persistence: struct-level round trips and the
+ * profile-once / simulate-many equivalence guarantee — an Estimate
+ * reconstructed from reloaded artifacts is bit-identical to the
+ * all-in-memory pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <string>
+
+#include "src/core/artifacts.h"
+#include "src/core/barrierpoint.h"
+#include "src/support/serialize.h"
+#include "src/workloads/test_workload.h"
+
+namespace bp {
+namespace {
+
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &name)
+        : path_(::testing::TempDir() + name)
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+WorkloadSpec
+smallSpec()
+{
+    WorkloadSpec spec;
+    spec.name = "npb-is";
+    spec.threads = 2;
+    spec.scale = 0.05;
+    spec.seed = 99;
+    return spec;
+}
+
+void
+expectProfilesEqual(const RegionProfile &a, const RegionProfile &b)
+{
+    EXPECT_EQ(a.regionIndex, b.regionIndex);
+    ASSERT_EQ(a.threads.size(), b.threads.size());
+    for (size_t t = 0; t < a.threads.size(); ++t) {
+        const ThreadProfile &ta = a.threads[t];
+        const ThreadProfile &tb = b.threads[t];
+        EXPECT_EQ(ta.bbv, tb.bbv);
+        ASSERT_EQ(ta.ldv.numBuckets(), tb.ldv.numBuckets());
+        for (unsigned bk = 0; bk < ta.ldv.numBuckets(); ++bk)
+            EXPECT_EQ(ta.ldv.bucket(bk), tb.ldv.bucket(bk));
+        EXPECT_EQ(ta.instructions, tb.instructions);
+        EXPECT_EQ(ta.memOps, tb.memOps);
+        EXPECT_EQ(ta.coldAccesses, tb.coldAccesses);
+    }
+}
+
+/** Bitwise double equality (doubles must survive disk exactly). */
+void
+expectBitEqual(double a, double b)
+{
+    EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b))
+        << a << " vs " << b;
+}
+
+TEST(ArtifactsTest, ProfileArtifactRoundTrip)
+{
+    const WorkloadSpec spec = smallSpec();
+    const auto workload = spec.instantiate();
+
+    ProfileArtifact artifact;
+    artifact.workload = spec;
+    artifact.profiles = profileWorkload(*workload);
+
+    TempFile file("artifact_profile.bp");
+    saveArtifact(file.path(), artifact);
+    const ProfileArtifact loaded = loadProfileArtifact(file.path());
+
+    EXPECT_EQ(loaded.workload, spec);
+    ASSERT_EQ(loaded.profiles.size(), artifact.profiles.size());
+    for (size_t r = 0; r < loaded.profiles.size(); ++r)
+        expectProfilesEqual(artifact.profiles[r], loaded.profiles[r]);
+}
+
+TEST(ArtifactsTest, AnalysisArtifactRoundTrip)
+{
+    const WorkloadSpec spec = smallSpec();
+    const auto workload = spec.instantiate();
+
+    AnalysisArtifact artifact;
+    artifact.workload = spec;
+    artifact.analysis = analyzeWorkload(*workload);
+
+    TempFile file("artifact_analysis.bp");
+    saveArtifact(file.path(), artifact);
+    const AnalysisArtifact loaded = loadAnalysisArtifact(file.path());
+
+    EXPECT_EQ(loaded.workload, spec);
+    const BarrierPointAnalysis &a = artifact.analysis;
+    const BarrierPointAnalysis &b = loaded.analysis;
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (size_t j = 0; j < a.points.size(); ++j) {
+        EXPECT_EQ(a.points[j].region, b.points[j].region);
+        EXPECT_EQ(a.points[j].cluster, b.points[j].cluster);
+        expectBitEqual(a.points[j].multiplier, b.points[j].multiplier);
+        expectBitEqual(a.points[j].weightFraction,
+                       b.points[j].weightFraction);
+        EXPECT_EQ(a.points[j].instructions, b.points[j].instructions);
+        EXPECT_EQ(a.points[j].significant, b.points[j].significant);
+    }
+    EXPECT_EQ(a.regionToPoint, b.regionToPoint);
+    EXPECT_EQ(a.regionInstructions, b.regionInstructions);
+    ASSERT_EQ(a.bicByK.size(), b.bicByK.size());
+    for (size_t k = 0; k < a.bicByK.size(); ++k)
+        expectBitEqual(a.bicByK[k], b.bicByK[k]);
+    EXPECT_EQ(a.chosenK, b.chosenK);
+}
+
+TEST(ArtifactsTest, SnapshotArtifactRoundTrip)
+{
+    WorkloadParams params;
+    params.threads = 2;
+    TestWorkloadSpec spec;
+    spec.regions = 8;
+    const auto workload = makeTestWorkload(params, spec);
+
+    SnapshotArtifact artifact;
+    artifact.workload.name = "test";
+    artifact.workload.threads = 2;
+    artifact.capacityLines = 4096;
+    artifact.privateLines = 512;
+    artifact.regions = {2, 5, 7};
+    artifact.snapshots = captureMruSnapshots(*workload, artifact.regions,
+                                             artifact.capacityLines,
+                                             artifact.privateLines);
+
+    TempFile file("artifact_snapshots.bp");
+    saveArtifact(file.path(), artifact);
+    const SnapshotArtifact loaded = loadSnapshotArtifact(file.path());
+
+    EXPECT_EQ(loaded.capacityLines, artifact.capacityLines);
+    EXPECT_EQ(loaded.privateLines, artifact.privateLines);
+    EXPECT_EQ(loaded.regions, artifact.regions);
+    ASSERT_EQ(loaded.snapshots.size(), artifact.snapshots.size());
+    for (size_t i = 0; i < loaded.snapshots.size(); ++i) {
+        ASSERT_EQ(loaded.snapshots[i].size(), artifact.snapshots[i].size());
+        for (size_t c = 0; c < loaded.snapshots[i].size(); ++c) {
+            const auto &ea = artifact.snapshots[i][c];
+            const auto &eb = loaded.snapshots[i][c];
+            ASSERT_EQ(ea.size(), eb.size());
+            for (size_t e = 0; e < ea.size(); ++e) {
+                EXPECT_EQ(ea[e].line, eb[e].line);
+                EXPECT_EQ(ea[e].written, eb[e].written);
+                EXPECT_EQ(ea[e].llcDirty, eb[e].llcDirty);
+            }
+        }
+    }
+}
+
+TEST(ArtifactsTest, RunResultArtifactRoundTrip)
+{
+    const WorkloadSpec spec = smallSpec();
+    const auto workload = spec.instantiate();
+    const MachineConfig machine = MachineConfig::withCores(2);
+
+    RunResultArtifact artifact;
+    artifact.workload = spec;
+    artifact.machine = machine.name;
+    artifact.flavor = "reference";
+    artifact.result = runReference(*workload, machine);
+
+    TempFile file("artifact_runresult.bp");
+    saveArtifact(file.path(), artifact);
+    const RunResultArtifact loaded = loadRunResultArtifact(file.path());
+
+    EXPECT_EQ(loaded.workload, spec);
+    EXPECT_EQ(loaded.machine, machine.name);
+    EXPECT_EQ(loaded.flavor, "reference");
+    ASSERT_EQ(loaded.result.regions.size(), artifact.result.regions.size());
+    for (size_t r = 0; r < loaded.result.regions.size(); ++r) {
+        const RegionStats &a = artifact.result.regions[r];
+        const RegionStats &b = loaded.result.regions[r];
+        EXPECT_EQ(a.regionIndex, b.regionIndex);
+        EXPECT_EQ(a.instructions, b.instructions);
+        expectBitEqual(a.cycles, b.cycles);
+        expectBitEqual(a.startCycle, b.startCycle);
+        EXPECT_EQ(a.mispredicts, b.mispredicts);
+        EXPECT_EQ(a.mem.accesses, b.mem.accesses);
+        EXPECT_EQ(a.mem.dramReads, b.mem.dramReads);
+        EXPECT_EQ(a.mem.dramWrites, b.mem.dramWrites);
+        EXPECT_EQ(a.mem.llcMisses, b.mem.llcMisses);
+    }
+}
+
+TEST(ArtifactsTest, MismatchedKindIsRejected)
+{
+    const WorkloadSpec spec = smallSpec();
+    const auto workload = spec.instantiate();
+    AnalysisArtifact artifact;
+    artifact.workload = spec;
+    artifact.analysis = analyzeWorkload(*workload);
+    TempFile file("artifact_kind_mismatch.bp");
+    saveArtifact(file.path(), artifact);
+    EXPECT_THROW(loadProfileArtifact(file.path()), SerializeError);
+}
+
+/**
+ * The PR's acceptance criterion: the artifact chain
+ * profile -> save -> load -> analyze -> save -> load -> simulate ->
+ * save -> load -> reconstruct produces an Estimate bit-identical to
+ * the in-memory analyzeWorkload -> simulateBarrierPoints ->
+ * reconstruct path on the same workload and machine.
+ */
+TEST(ArtifactsTest, PersistedChainIsBitIdenticalToInMemoryPipeline)
+{
+    const WorkloadSpec spec = smallSpec();
+    const MachineConfig machine = MachineConfig::withCores(spec.threads);
+
+    // In-memory path.
+    const auto direct_workload = spec.instantiate();
+    const BarrierPointAnalysis direct_analysis =
+        analyzeWorkload(*direct_workload);
+    const auto direct_stats = simulateBarrierPoints(
+        *direct_workload, machine, direct_analysis,
+        WarmupPolicy::MruReplay);
+    const Estimate direct = reconstruct(direct_analysis, direct_stats);
+
+    // Artifact path: every stage round-trips through disk and
+    // re-instantiates its workload from the embedded spec.
+    TempFile profile_file("chain_profile.bp");
+    TempFile analysis_file("chain_analysis.bp");
+    TempFile result_file("chain_result.bp");
+    {
+        ProfileArtifact artifact;
+        artifact.workload = spec;
+        artifact.profiles = profileWorkload(*spec.instantiate());
+        saveArtifact(profile_file.path(), artifact);
+    }
+    {
+        const ProfileArtifact profile =
+            loadProfileArtifact(profile_file.path());
+        AnalysisArtifact artifact;
+        artifact.workload = profile.workload;
+        artifact.analysis = analyzeProfiles(profile.profiles);
+        saveArtifact(analysis_file.path(), artifact);
+    }
+    {
+        const AnalysisArtifact analysis =
+            loadAnalysisArtifact(analysis_file.path());
+        const auto workload = analysis.workload.instantiate();
+        RunResultArtifact artifact;
+        artifact.workload = analysis.workload;
+        artifact.machine = machine.name;
+        artifact.flavor = "barrierpoints-mru";
+        artifact.result.regions = simulateBarrierPoints(
+            *workload, machine, analysis.analysis,
+            WarmupPolicy::MruReplay);
+        saveArtifact(result_file.path(), artifact);
+    }
+    const AnalysisArtifact analysis =
+        loadAnalysisArtifact(analysis_file.path());
+    const RunResultArtifact result =
+        loadRunResultArtifact(result_file.path());
+    const Estimate chained =
+        reconstruct(analysis.analysis, result.result.regions);
+
+    expectBitEqual(chained.totalCycles, direct.totalCycles);
+    expectBitEqual(chained.totalInstructions, direct.totalInstructions);
+    expectBitEqual(chained.dramAccesses, direct.dramAccesses);
+    expectBitEqual(chained.llcMisses, direct.llcMisses);
+}
+
+/** Pre-captured snapshots must reproduce the internal capture path. */
+TEST(ArtifactsTest, PersistedSnapshotsReproduceInternalCapture)
+{
+    const WorkloadSpec spec = smallSpec();
+    const auto workload = spec.instantiate();
+    const MachineConfig machine = MachineConfig::withCores(spec.threads);
+    const BarrierPointAnalysis analysis = analyzeWorkload(*workload);
+
+    const auto internal = simulateBarrierPoints(
+        *workload, machine, analysis, WarmupPolicy::MruReplay);
+
+    SnapshotArtifact artifact;
+    artifact.workload = spec;
+    artifact.capacityLines = mruCapacityLines(machine);
+    artifact.privateLines = mruPrivateLines(machine);
+    for (const BarrierPoint &point : analysis.points)
+        artifact.regions.push_back(point.region);
+    artifact.snapshots =
+        captureAnalysisSnapshots(*workload, machine, analysis);
+    TempFile file("chain_snapshots.bp");
+    saveArtifact(file.path(), artifact);
+    const SnapshotArtifact loaded = loadSnapshotArtifact(file.path());
+
+    const auto replayed = simulateBarrierPoints(*workload, machine,
+                                                analysis,
+                                                loaded.snapshots);
+    ASSERT_EQ(replayed.size(), internal.size());
+    for (size_t j = 0; j < replayed.size(); ++j) {
+        expectBitEqual(replayed[j].cycles, internal[j].cycles);
+        EXPECT_EQ(replayed[j].instructions, internal[j].instructions);
+        EXPECT_EQ(replayed[j].mem.dramReads, internal[j].mem.dramReads);
+    }
+}
+
+} // namespace
+} // namespace bp

@@ -129,6 +129,91 @@ TEST(PipelineTest, SnapshotsAlignWithRequestedRegions)
     EXPECT_GE(snaps[2][0].size(), snaps[1][0].size());
 }
 
+/**
+ * Hand-built workload whose coherence traffic crosses the 32-thread
+ * boundary: thread `writer` stores to lines that other threads read.
+ */
+class WideWorkload : public Workload
+{
+  public:
+    explicit WideWorkload(unsigned threads)
+        : Workload("wide-test", makeParams(threads))
+    {
+    }
+
+    unsigned regionCount() const override { return 3; }
+
+    RegionTrace
+    generateRegion(unsigned index) const override
+    {
+        const unsigned threads = threadCount();
+        RegionTrace trace(index, threads);
+        for (unsigned t = 0; t < threads; ++t) {
+            // Every thread touches its own private line...
+            trace.thread(t).push_back(
+                MicroOp::load(1, (0x1000u + t) * kLineBytes));
+            // ...and reads one shared line.
+            trace.thread(t).push_back(
+                MicroOp::load(2, 0x9000u * kLineBytes));
+        }
+        // In region 1, the last thread (index >= 32 when wide) writes
+        // the shared line, invalidating every other reader's copy.
+        if (index == 1) {
+            trace.thread(threads - 1).push_back(
+                MicroOp::store(3, 0x9000u * kLineBytes));
+        }
+        return trace;
+    }
+
+  private:
+    static WorkloadParams
+    makeParams(unsigned threads)
+    {
+        WorkloadParams params;
+        params.threads = threads;
+        return params;
+    }
+};
+
+TEST(PipelineTest, SnapshotCaptureHandlesMoreThan32Threads)
+{
+    // Thread 39's store must invalidate the shared line in threads
+    // 0..38's trackers; with the old 32-bit holder mask, `1u << 39`
+    // was undefined behaviour and (on x86) aliased thread 7.
+    const unsigned threads = 40;
+    const WideWorkload workload(threads);
+    const uint64_t shared_line = lineOf(0x9000u * kLineBytes);
+
+    const auto snaps = captureMruSnapshots(workload, {2}, 4096);
+    ASSERT_EQ(snaps.size(), 1u);
+    ASSERT_EQ(snaps[0].size(), threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        bool has_private = false;
+        bool has_shared = false;
+        for (const MruEntry &entry : snaps[0][t]) {
+            has_private |= entry.line == lineOf((0x1000u + t) * kLineBytes);
+            has_shared |= entry.line == shared_line;
+        }
+        // Private lines are never invalidated.
+        EXPECT_TRUE(has_private) << "thread " << t;
+        // Only the writer (last thread) retains the shared line: its
+        // region-1 store invalidated every other reader's copy, and
+        // the snapshot is taken at entry to region 2.
+        if (t == threads - 1) {
+            EXPECT_TRUE(has_shared) << "writer thread";
+        } else {
+            EXPECT_FALSE(has_shared) << "thread " << t;
+        }
+    }
+}
+
+TEST(PipelineTest, ThreadCountBeyondHolderMaskIsRejected)
+{
+    // The widened holder mask covers 64 threads; workloads beyond
+    // that must refuse loudly instead of corrupting capture state.
+    EXPECT_DEATH({ const WideWorkload workload(65); }, "\\[1, 64\\]");
+}
+
 TEST(PipelineTest, AnalyzeProfilesAllowsSignatureSweeps)
 {
     const auto wl = smallWorkload(2, 16, 3);

@@ -93,6 +93,49 @@ TEST(SelectionTest, RegionToPointMapsEveryRegion)
     }
 }
 
+TEST(SelectionTest, ZeroInstructionClusterStillGetsABarrierPoint)
+{
+    // Cluster 1 exists (regions 1 and 3 are assigned to it) but
+    // carries zero instructions. It must still emit a barrierpoint:
+    // the old behaviour skipped it, leaving regionToPoint[1] and
+    // regionToPoint[3] silently pointing at barrierpoint 0.
+    const std::vector<std::vector<double>> points{{0.0}, {9.0}, {0.1},
+                                                  {9.1}};
+    const std::vector<uint64_t> instr{100, 0, 100, 0};
+    const auto clustering = madeClustering({0, 1, 0, 1}, points, 2);
+    const auto analysis = selectBarrierPoints(clustering, points, instr);
+
+    ASSERT_EQ(analysis.points.size(), 2u);
+    // Every region maps to a barrierpoint of its own cluster — no
+    // index-0 fallback.
+    for (size_t i = 0; i < points.size(); ++i) {
+        const unsigned j = analysis.regionToPoint[i];
+        ASSERT_LT(j, analysis.points.size());
+        EXPECT_EQ(analysis.points[j].cluster,
+                  clustering.best.assignment[i]);
+    }
+    // The empty cluster's point is weightless and insignificant.
+    const unsigned j1 = analysis.regionToPoint[1];
+    EXPECT_EQ(analysis.points[j1].cluster, 1u);
+    EXPECT_DOUBLE_EQ(analysis.points[j1].multiplier, 0.0);
+    EXPECT_DOUBLE_EQ(analysis.points[j1].weightFraction, 0.0);
+    EXPECT_FALSE(analysis.points[j1].significant);
+}
+
+TEST(SelectionTest, UnassignedClusterIsSkipped)
+{
+    // k-means can leave a centroid with no members at all; such a
+    // cluster has nothing to represent and emits no point.
+    const std::vector<std::vector<double>> points{{0.0}, {0.1}};
+    const std::vector<uint64_t> instr{10, 10};
+    auto clustering = madeClustering({0, 0}, points, 2);
+    clustering.best.centroids[1] = {50.0};
+    const auto analysis = selectBarrierPoints(clustering, points, instr);
+    ASSERT_EQ(analysis.points.size(), 1u);
+    EXPECT_EQ(analysis.regionToPoint[0], 0u);
+    EXPECT_EQ(analysis.regionToPoint[1], 0u);
+}
+
 TEST(SelectionTest, SignificanceThreshold)
 {
     // Cluster 1 carries ~0.05% of the instructions: insignificant.

@@ -74,6 +74,34 @@ TEST(SignatureTest, CombinedHasBothHalvesWeightedEqually)
     EXPECT_NEAR(l1Mass(sig), 1.0, 1e-12);
 }
 
+TEST(SignatureTest, CombinedWithEmptyLdvStillHasUnitMass)
+{
+    // A region with no memory ops has an empty LDV half; the combined
+    // signature must renormalize to unit mass rather than keeping the
+    // 0.5 scale of the halved BBV (which skewed distances against
+    // fully-populated regions).
+    RegionProfile p = profileWith(2);
+    p.threads[0].bbv[1] = 40;
+    p.threads[1].bbv[2] = 60;
+    SignatureConfig cfg;
+    cfg.kind = SignatureKind::Combined;
+    const auto sig = buildSignature(p, cfg);
+    EXPECT_EQ(sig.features.size(), 2u);
+    EXPECT_NEAR(l1Mass(sig), 1.0, 1e-12);
+}
+
+TEST(SignatureTest, CombinedWithEmptyBbvStillHasUnitMass)
+{
+    RegionProfile p = profileWith(1);
+    p.threads[0].ldv.add(4, 10);
+    p.threads[0].ldv.add(64, 5);
+    SignatureConfig cfg;
+    cfg.kind = SignatureKind::Combined;
+    const auto sig = buildSignature(p, cfg);
+    EXPECT_EQ(sig.features.size(), 2u);
+    EXPECT_NEAR(l1Mass(sig), 1.0, 1e-12);
+}
+
 TEST(SignatureTest, ConcatenationSeparatesThreads)
 {
     // Two regions: same aggregate mix, opposite per-thread behaviour.

@@ -1,0 +1,458 @@
+/**
+ * @file
+ * `bp` — command-line driver for the BarrierPoint pipeline.
+ *
+ * Each subcommand runs one pipeline stage and chains through on-disk
+ * artifacts (core/artifacts.h), making the paper's cost split
+ * operational across processes: `profile` and `analyze` are paid once
+ * per workload, then any number of `simulate` jobs — one per machine
+ * configuration, launched in parallel if desired — reuse the same
+ * analysis artifact.
+ *
+ *   bp profile   --workload npb-cg --threads 8 -o cg.profile.bp
+ *   bp analyze   --profile cg.profile.bp -o cg.analysis.bp
+ *   bp simulate  --analysis cg.analysis.bp --machine 8-core \
+ *                -o cg.8c.result.bp
+ *   bp reference --analysis cg.analysis.bp --machine 8-core \
+ *                -o cg.8c.reference.bp
+ *   bp report    --analysis cg.analysis.bp --result cg.8c.result.bp \
+ *                [--reference cg.8c.reference.bp]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/artifacts.h"
+#include "src/core/barrierpoint.h"
+#include "src/support/logging.h"
+#include "src/support/serialize.h"
+#include "src/support/stats.h"
+
+namespace bp {
+namespace {
+
+const char *kUsage =
+    "usage: bp <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  profile    profile a workload's regions (one-time cost)\n"
+    "               --workload NAME [--threads N] [--scale S] [--seed X]\n"
+    "               [--jobs J] -o FILE\n"
+    "  analyze    select barrierpoints from a profile artifact\n"
+    "               --profile FILE [--signature bbv|reuse_dist|combine]\n"
+    "               [--dim D] [--max-k K] [--significance F] [--jobs J]\n"
+    "               -o FILE\n"
+    "  simulate   detailed-simulate only the barrierpoints\n"
+    "               --analysis FILE --machine NAME [--warmup mru|cold]\n"
+    "               [--snapshots FILE] [--jobs J] -o FILE\n"
+    "  reference  detailed-simulate every region (the costly baseline)\n"
+    "               --analysis FILE --machine NAME -o FILE\n"
+    "  report     reconstruct whole-program metrics from artifacts\n"
+    "               --analysis FILE --result FILE [--reference FILE]\n"
+    "\n"
+    "Machine names: \"<N>-core\" with N in [1, 32], e.g. 8-core, 32-core.\n"
+    "Workload names: ";
+
+/** Tiny --key value argument list with required/optional lookups. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 0; i < argc; ++i) {
+            const std::string key = argv[i];
+            if (key.rfind("--", 0) != 0 && key != "-o")
+                fatal("unexpected argument '%s' (options are --key value)",
+                      key.c_str());
+            if (i + 1 >= argc)
+                fatal("option '%s' is missing its value", key.c_str());
+            keys_.push_back(key == "-o" ? "--output" : key);
+            values_.push_back(argv[++i]);
+            used_.push_back(false);
+        }
+    }
+
+    const std::string *
+    find(const std::string &key) const
+    {
+        for (size_t i = 0; i < keys_.size(); ++i) {
+            if (keys_[i] == key) {
+                used_[i] = true;
+                return &values_[i];
+            }
+        }
+        return nullptr;
+    }
+
+    std::string
+    required(const std::string &key) const
+    {
+        const std::string *value = find(key);
+        if (!value)
+            fatal("missing required option '%s'", key.c_str());
+        return *value;
+    }
+
+    std::string
+    optional(const std::string &key, const std::string &fallback) const
+    {
+        const std::string *value = find(key);
+        return value ? *value : fallback;
+    }
+
+    uint64_t
+    integer(const std::string &key, uint64_t fallback) const
+    {
+        const std::string *value = find(key);
+        if (!value)
+            return fallback;
+        char *end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(value->c_str(), &end, 10);
+        if (end == value->c_str() || *end != '\0')
+            fatal("option '%s' wants an integer, got '%s'", key.c_str(),
+                  value->c_str());
+        return parsed;
+    }
+
+    double
+    real(const std::string &key, double fallback) const
+    {
+        const std::string *value = find(key);
+        if (!value)
+            return fallback;
+        char *end = nullptr;
+        const double parsed = std::strtod(value->c_str(), &end);
+        if (end == value->c_str() || *end != '\0')
+            fatal("option '%s' wants a number, got '%s'", key.c_str(),
+                  value->c_str());
+        return parsed;
+    }
+
+    /** Reject typo'd options that nothing consumed. */
+    void
+    finish() const
+    {
+        for (size_t i = 0; i < keys_.size(); ++i) {
+            if (!used_[i])
+                fatal("unknown option '%s'", keys_[i].c_str());
+        }
+    }
+
+  private:
+    std::vector<std::string> keys_;
+    std::vector<std::string> values_;
+    mutable std::vector<bool> used_;
+};
+
+SignatureKind
+parseSignatureKind(const std::string &name)
+{
+    for (const SignatureKind kind :
+         {SignatureKind::Bbv, SignatureKind::Ldv, SignatureKind::Combined}) {
+        if (name == signatureKindName(kind))
+            return kind;
+    }
+    fatal("unknown signature kind '%s' (bbv, reuse_dist, combine)",
+          name.c_str());
+}
+
+int
+cmdProfile(const Args &args)
+{
+    ProfileArtifact artifact;
+    artifact.workload.name = args.required("--workload");
+    artifact.workload.threads =
+        static_cast<unsigned>(args.integer("--threads", 8));
+    artifact.workload.scale = args.real("--scale", 1.0);
+    artifact.workload.seed = args.integer("--seed", 12345);
+    const unsigned jobs = static_cast<unsigned>(args.integer("--jobs", 1));
+    const std::string out = args.required("--output");
+    args.finish();
+    if (artifact.workload.threads < 1 || artifact.workload.threads > 64)
+        fatal("--threads must be in [1, 64], got %u",
+              artifact.workload.threads);
+    if (artifact.workload.scale <= 0.0)
+        fatal("--scale must be positive");
+
+    const auto workload = artifact.workload.instantiate();
+    artifact.profiles = profileWorkload(*workload, jobs);
+    saveArtifact(out, artifact);
+    std::printf("profiled %s: %zu regions, %llu instructions -> %s\n",
+                artifact.workload.name.c_str(), artifact.profiles.size(),
+                static_cast<unsigned long long>([&] {
+                    uint64_t total = 0;
+                    for (const auto &profile : artifact.profiles)
+                        total += profile.instructions();
+                    return total;
+                }()),
+                out.c_str());
+    return 0;
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    const std::string in = args.required("--profile");
+    const std::string out = args.required("--output");
+    BarrierPointOptions options;
+    options.signature.kind =
+        parseSignatureKind(args.optional("--signature", "combine"));
+    options.clustering.dim =
+        static_cast<unsigned>(args.integer("--dim", options.clustering.dim));
+    options.clustering.maxK = static_cast<unsigned>(
+        args.integer("--max-k", options.clustering.maxK));
+    options.significance =
+        args.real("--significance", options.significance);
+    options.threads = static_cast<unsigned>(args.integer("--jobs", 1));
+    args.finish();
+
+    const ProfileArtifact profile = loadProfileArtifact(in);
+    AnalysisArtifact artifact;
+    artifact.workload = profile.workload;
+    artifact.analysis = analyzeProfiles(profile.profiles, options);
+    saveArtifact(out, artifact);
+
+    const BarrierPointAnalysis &analysis = artifact.analysis;
+    std::printf("%s: %zu barrierpoints (%u significant) for %u regions "
+                "-> %s\n",
+                artifact.workload.name.c_str(), analysis.points.size(),
+                analysis.numSignificant(), analysis.numRegions(),
+                out.c_str());
+    std::printf("serial speedup %.1fx, parallel %.1fx, resources %.1fx\n",
+                analysis.serialSpeedup(), analysis.parallelSpeedup(),
+                analysis.resourceReduction());
+    return 0;
+}
+
+/**
+ * MRU snapshots for @p analysis, going through the @p path cache when
+ * one is named: reloaded when present and matching, captured and
+ * saved otherwise. An empty path skips persistence entirely.
+ */
+MruSnapshotSet
+obtainSnapshots(const std::string &path, const AnalysisArtifact &artifact,
+                const Workload &workload, const MachineConfig &machine)
+{
+    SnapshotArtifact wanted;
+    wanted.workload = artifact.workload;
+    wanted.capacityLines = mruCapacityLines(machine);
+    wanted.privateLines = mruPrivateLines(machine);
+    wanted.regions.reserve(artifact.analysis.points.size());
+    for (const BarrierPoint &point : artifact.analysis.points)
+        wanted.regions.push_back(point.region);
+
+    if (!path.empty()) {
+        std::FILE *probe = std::fopen(path.c_str(), "rb");
+        if (probe) {
+            std::fclose(probe);
+            try {
+                SnapshotArtifact cached = loadSnapshotArtifact(path);
+                if (cached.workload == wanted.workload &&
+                    cached.capacityLines == wanted.capacityLines &&
+                    cached.privateLines == wanted.privateLines &&
+                    cached.regions == wanted.regions &&
+                    cached.snapshots.size() == cached.regions.size()) {
+                    inform("reusing MRU snapshots from %s", path.c_str());
+                    return std::move(cached.snapshots);
+                }
+                warn("snapshot artifact %s was captured for a different "
+                     "analysis or machine; recapturing",
+                     path.c_str());
+            } catch (const SerializeError &error) {
+                warn("snapshot artifact %s is unreadable (%s); "
+                     "recapturing",
+                     path.c_str(), error.what());
+            }
+        }
+    }
+
+    wanted.snapshots =
+        captureAnalysisSnapshots(workload, machine, artifact.analysis);
+    if (!path.empty()) {
+        saveArtifact(path, wanted);
+        inform("captured MRU snapshots -> %s", path.c_str());
+    }
+    return std::move(wanted.snapshots);
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    const std::string in = args.required("--analysis");
+    const std::string machine_name = args.required("--machine");
+    const std::string out = args.required("--output");
+    const std::string warmup = args.optional("--warmup", "mru");
+    const std::string snapshot_path = args.optional("--snapshots", "");
+    const unsigned jobs = static_cast<unsigned>(args.integer("--jobs", 1));
+    args.finish();
+    if (warmup != "mru" && warmup != "cold")
+        fatal("unknown warmup policy '%s' (mru, cold)", warmup.c_str());
+    if (warmup == "cold" && !snapshot_path.empty())
+        fatal("--snapshots is only meaningful with --warmup mru");
+
+    const AnalysisArtifact artifact = loadAnalysisArtifact(in);
+    const auto workload = artifact.workload.instantiate();
+    const MachineConfig machine = MachineConfig::byName(machine_name);
+
+    RunResultArtifact result;
+    result.workload = artifact.workload;
+    result.machine = machine.name;
+    result.flavor = "barrierpoints-" + warmup;
+    if (warmup == "mru") {
+        const MruSnapshotSet snapshots = obtainSnapshots(
+            snapshot_path, artifact, *workload, machine);
+        result.result.regions = simulateBarrierPoints(
+            *workload, machine, artifact.analysis, snapshots, jobs);
+    } else {
+        result.result.regions = simulateBarrierPoints(
+            *workload, machine, artifact.analysis, WarmupPolicy::Cold,
+            jobs);
+    }
+    saveArtifact(out, result);
+
+    const Estimate estimate =
+        reconstruct(artifact.analysis, result.result.regions);
+    std::printf("%s on %s (%s): %zu barrierpoints simulated -> %s\n",
+                artifact.workload.name.c_str(), machine.name.c_str(),
+                result.flavor.c_str(), result.result.regions.size(),
+                out.c_str());
+    std::printf("estimated cycles %.0f, IPC %.4f, DRAM APKI %.3f\n",
+                estimate.totalCycles, estimate.ipc(), estimate.dramApki());
+    return 0;
+}
+
+int
+cmdReference(const Args &args)
+{
+    const std::string in = args.required("--analysis");
+    const std::string machine_name = args.required("--machine");
+    const std::string out = args.required("--output");
+    args.finish();
+
+    const AnalysisArtifact artifact = loadAnalysisArtifact(in);
+    const auto workload = artifact.workload.instantiate();
+    const MachineConfig machine = MachineConfig::byName(machine_name);
+
+    RunResultArtifact result;
+    result.workload = artifact.workload;
+    result.machine = machine.name;
+    result.flavor = "reference";
+    result.result = runReference(*workload, machine);
+    saveArtifact(out, result);
+    std::printf("%s on %s: %zu regions simulated in full -> %s\n",
+                artifact.workload.name.c_str(), machine.name.c_str(),
+                result.result.regions.size(), out.c_str());
+    std::printf("reference cycles %.0f, IPC %.4f\n",
+                result.result.totalCycles(), result.result.ipc());
+    return 0;
+}
+
+int
+cmdReport(const Args &args)
+{
+    const std::string analysis_path = args.required("--analysis");
+    const std::string result_path = args.required("--result");
+    const std::string reference_path = args.optional("--reference", "");
+    args.finish();
+
+    const AnalysisArtifact artifact = loadAnalysisArtifact(analysis_path);
+    const RunResultArtifact result = loadRunResultArtifact(result_path);
+    if (result.workload != artifact.workload)
+        fatal("result artifact %s was produced for a different workload "
+              "than analysis %s",
+              result_path.c_str(), analysis_path.c_str());
+    if (result.result.regions.size() != artifact.analysis.points.size())
+        fatal("result artifact %s holds %zu records but the analysis has "
+              "%zu barrierpoints (is it a reference run?)",
+              result_path.c_str(), result.result.regions.size(),
+              artifact.analysis.points.size());
+
+    const BarrierPointAnalysis &analysis = artifact.analysis;
+    std::printf("workload %s (%u threads), machine %s, warmup %s\n",
+                artifact.workload.name.c_str(), artifact.workload.threads,
+                result.machine.c_str(), result.flavor.c_str());
+    std::printf("%-8s %-8s %12s %12s %10s %6s\n", "point", "region",
+                "multiplier", "weight%", "ipc", "sig");
+    for (size_t j = 0; j < analysis.points.size(); ++j) {
+        const BarrierPoint &point = analysis.points[j];
+        std::printf("%-8zu %-8u %12.4f %12.4f %10.4f %6s\n", j,
+                    point.region, point.multiplier,
+                    100.0 * point.weightFraction,
+                    result.result.regions[j].ipc(),
+                    point.significant ? "yes" : "no");
+    }
+
+    const Estimate estimate =
+        reconstruct(analysis, result.result.regions);
+    std::printf("\nestimate: cycles %.17g, instructions %.17g, "
+                "IPC %.6f, DRAM APKI %.4f\n",
+                estimate.totalCycles, estimate.totalInstructions,
+                estimate.ipc(), estimate.dramApki());
+
+    if (!reference_path.empty()) {
+        const RunResultArtifact reference =
+            loadRunResultArtifact(reference_path);
+        if (reference.workload != artifact.workload)
+            fatal("reference artifact %s was produced for a different "
+                  "workload",
+                  reference_path.c_str());
+        if (reference.machine != result.machine)
+            fatal("reference artifact %s is for machine %s but the "
+                  "result is for %s",
+                  reference_path.c_str(), reference.machine.c_str(),
+                  result.machine.c_str());
+        const double ref_cycles = reference.result.totalCycles();
+        std::printf("reference: cycles %.17g, IPC %.6f\n", ref_cycles,
+                    reference.result.ipc());
+        std::printf("reconstruction error: %.3f%% (cycles), "
+                    "%.3f%% (IPC)\n",
+                    percentAbsError(estimate.totalCycles, ref_cycles),
+                    percentAbsError(estimate.ipc(),
+                                    reference.result.ipc()));
+    }
+    return 0;
+}
+
+int
+bpMain(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::string names;
+        for (const std::string &name : workloadNames())
+            names += name + " ";
+        std::fprintf(stderr, "%s%s\n", kUsage, names.c_str());
+        return 2;
+    }
+    const std::string command = argv[1];
+    const Args args(argc - 2, argv + 2);
+    try {
+        if (command == "profile")
+            return cmdProfile(args);
+        if (command == "analyze")
+            return cmdAnalyze(args);
+        if (command == "simulate")
+            return cmdSimulate(args);
+        if (command == "reference")
+            return cmdReference(args);
+        if (command == "report")
+            return cmdReport(args);
+    } catch (const SerializeError &error) {
+        fatal("%s", error.what());
+    }
+    fatal("unknown command '%s' (profile, analyze, simulate, reference, "
+          "report)",
+          command.c_str());
+}
+
+} // namespace
+} // namespace bp
+
+int
+main(int argc, char **argv)
+{
+    return bp::bpMain(argc, argv);
+}
