@@ -13,10 +13,14 @@
  *
  *   bp profile --workload npb-cg -o cg.profile.bp
  *   bp analyze --profile cg.profile.bp -o cg.analysis.bp
- *   for m in 4-core 8-core 16-core 32-core; do
+ *   for m in 8-core 16-core 32-core 48-core 64-core; do
  *     bp simulate --analysis cg.analysis.bp --machine $m \
  *                 -o cg.$m.result.bp &
  *   done
+ *
+ * (The CLI simulates at the profiled thread count, so the machine
+ * needs at least that many cores; this example goes further and
+ * re-instantiates the workload at each width, down to 4 cores.)
  */
 
 #include <cstdio>
@@ -51,7 +55,7 @@ main(int argc, char **argv)
                 "reference(ms)", "err%", "speedup");
 
     double first_predicted = 0.0;
-    for (const unsigned cores : {4u, 8u, 16u, 32u}) {
+    for (const unsigned cores : {4u, 8u, 16u, 32u, 48u, 64u}) {
         // Per-design-point cost: reload the cached analysis (as an
         // independent batch job would) and simulate only the
         // barrierpoints.

@@ -79,11 +79,12 @@ lloyd(const std::vector<std::vector<double>> &points,
 
     std::vector<unsigned> assignment(n, 0);
 
-    for (unsigned iter = 0; iter < max_iterations; ++iter) {
-        // Assignment step: each point's nearest centroid depends only
-        // on immutable snapshot state, and ties break toward the
-        // lowest centroid index (strict <) — independent of execution
-        // order, so this parallelizes bit-identically.
+    // Assignment step: each point's nearest centroid depends only on
+    // immutable snapshot state, and ties break toward the lowest
+    // centroid index (strict <) — independent of execution order, so
+    // this parallelizes bit-identically. @return true when any
+    // assignment moved.
+    const auto assignPoints = [&]() {
         std::atomic<bool> changed{false};
         parallelFor(pool, 0, n, [&](uint64_t i) {
             double best = std::numeric_limits<double>::max();
@@ -100,8 +101,19 @@ lloyd(const std::vector<std::vector<double>> &points,
                 changed.store(true, std::memory_order_relaxed);
             }
         }, 64);
-        if (!changed.load(std::memory_order_relaxed) && iter > 0)
+        return changed.load(std::memory_order_relaxed);
+    };
+
+    // True when the loop exits converged: the final assignment was
+    // made against the current centroids, so scoring them together is
+    // consistent.
+    bool consistent = false;
+
+    for (unsigned iter = 0; iter < max_iterations; ++iter) {
+        if (!assignPoints() && iter > 0) {
+            consistent = true;
             break;
+        }
 
         // Recompute weighted centroids.
         std::vector<double> cluster_weight(k, 0.0);
@@ -134,6 +146,14 @@ lloyd(const std::vector<std::vector<double>> &points,
             }
         }
     }
+
+    // Out of iterations: the centroid update ran after the last
+    // assignment, so the assignments no longer pair with the
+    // centroids. One extra assignment pass restores the invariant the
+    // BIC k-sweep relies on: weightedSse always scores assignments
+    // against the centroids they were made with.
+    if (!consistent)
+        assignPoints();
 
     KMeansResult result;
     result.k = k;

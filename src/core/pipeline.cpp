@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "src/profile/mru_tracker.h"
+#include "src/support/coremask.h"
 #include "src/support/logging.h"
 #include "src/support/thread_pool.h"
 
@@ -161,7 +162,7 @@ captureMruSnapshots(const Workload &workload,
     const uint32_t last =
         *std::max_element(regions.begin(), regions.end());
     const unsigned threads = workload.threadCount();
-    BP_ASSERT(threads <= 64,
+    BP_ASSERT(threads <= kMaxCores,
               "coherence holder mask supports at most 64 threads");
 
     // region -> snapshot slots wanting it, so per-region capture cost
@@ -183,7 +184,7 @@ captureMruSnapshots(const Workload &workload,
     struct LineCoherence
     {
         uint64_t holders = 0;
-        int8_t writer = -1;
+        int16_t writer = -1;
     };
     std::unordered_map<uint64_t, LineCoherence> coherence;
 
@@ -220,22 +221,22 @@ captureMruSnapshots(const Workload &workload,
                 const bool write = op.kind == OpKind::Store;
                 LineCoherence &lc = coherence[line];
                 if (write) {
-                    uint64_t others = lc.holders & ~(1ull << t);
+                    uint64_t others = lc.holders & ~coreBit(t);
                     while (others) {
                         const unsigned other = static_cast<unsigned>(
                             std::countr_zero(others));
                         others &= others - 1;
                         trackers[other].invalidateLine(line);
                     }
-                    lc.holders = 1ull << t;
-                    lc.writer = static_cast<int8_t>(t);
+                    lc.holders = coreBit(t);
+                    lc.writer = static_cast<int16_t>(t);
                 } else {
                     if (lc.writer >= 0 &&
-                        lc.writer != static_cast<int8_t>(t)) {
+                        lc.writer != static_cast<int16_t>(t)) {
                         trackers[lc.writer].downgradeLine(line);
                         lc.writer = -1;
                     }
-                    lc.holders |= 1ull << t;
+                    lc.holders |= coreBit(t);
                 }
                 trackers[t].access(line, write);
             }

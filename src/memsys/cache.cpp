@@ -80,11 +80,17 @@ SetAssocCache::insert(uint64_t line, LineState state)
     const size_t base = setBase(line);
     const size_t set = base / assoc_;
 
-    // Re-insert over an existing copy if present.
+    // Re-insert over an existing copy if present, merging states: a
+    // resident Modified line stays Modified even when the new copy
+    // arrives Shared, so re-insertion can never silently drop
+    // dirtiness without a writeback.
     int victim = lookup(line);
     std::optional<Eviction> evicted;
 
-    if (victim < 0) {
+    if (victim >= 0) {
+        if (ways_[base + victim].state == LineState::Modified)
+            state = LineState::Modified;
+    } else {
         // Prefer an invalid way; otherwise evict true-LRU.
         uint32_t best_lru = UINT32_MAX;
         for (unsigned w = 0; w < assoc_; ++w) {

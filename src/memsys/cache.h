@@ -66,7 +66,9 @@ class SetAssocCache
 
     /**
      * Insert @p line in state @p state, evicting the LRU victim of the
-     * set when it is full.
+     * set when it is full. Inserting over a resident copy merges
+     * states (Modified wins), so a dirty line is never downgraded
+     * without an explicit setState().
      *
      * @return the eviction performed, if any.
      */

@@ -8,14 +8,6 @@
 
 namespace bp {
 
-namespace {
-inline uint32_t
-bit(unsigned index)
-{
-    return 1u << index;
-}
-} // namespace
-
 const char *
 memLevelName(MemLevel level)
 {
@@ -79,9 +71,12 @@ MemStats::deserialize(Deserializer &d)
 MemSystem::MemSystem(const MemSystemConfig &config)
     : config_(config)
 {
-    BP_ASSERT(config_.numCores >= 1 && config_.numCores <= 32,
-              "core count must be in [1, 32]");
+    if (config_.numCores < 1 || config_.numCores > kMaxCores)
+        fatal("core count must be in [1, %u], got %u", kMaxCores,
+              config_.numCores);
     BP_ASSERT(config_.coresPerSocket >= 1, "need at least one core/socket");
+    BP_ASSERT(config_.numSockets() <= kMaxSockets,
+              "socket count exceeds the directory's socket mask");
     for (unsigned c = 0; c < config_.numCores; ++c) {
         l1d_.emplace_back(config_.l1d);
         l2_.emplace_back(config_.l2);
@@ -180,7 +175,7 @@ MemSystem::invalidateSharers(unsigned requester, uint64_t line, double now)
     const unsigned my_socket = socketOf(requester);
     bool remote = false;
 
-    uint32_t mask = entry->coreMask & ~bit(requester);
+    uint64_t mask = entry->coreMask & ~coreBit(requester);
     while (mask) {
         const unsigned core = static_cast<unsigned>(std::countr_zero(mask));
         mask &= mask - 1;
@@ -192,17 +187,17 @@ MemSystem::invalidateSharers(unsigned requester, uint64_t line, double now)
             ++stats_.invalidations;
         if (socketOf(core) != my_socket)
             remote = true;
-        entry->coreMask &= ~bit(core);
+        entry->coreMask &= ~coreBit(core);
     }
 
-    uint32_t smask = entry->socketMask & ~bit(my_socket);
+    uint64_t smask = entry->socketMask & ~socketBit(my_socket);
     while (smask) {
         const unsigned socket = static_cast<unsigned>(std::countr_zero(smask));
         smask &= smask - 1;
         const LineState prior = l3_[socket].invalidate(line);
         if (prior == LineState::Modified)
             dramAccess(socket * config_.coresPerSocket, now, false);
-        entry->socketMask &= ~bit(socket);
+        entry->socketMask &= ~socketBit(socket);
         remote = true;
     }
 
@@ -221,7 +216,7 @@ MemSystem::handleL3Eviction(unsigned socket, const Eviction &ev, double now)
 
     DirEntry *entry = findDir(line);
     if (entry) {
-        uint32_t mask = entry->coreMask;
+        uint64_t mask = entry->coreMask;
         while (mask) {
             const unsigned core =
                 static_cast<unsigned>(std::countr_zero(mask));
@@ -231,11 +226,11 @@ MemSystem::handleL3Eviction(unsigned socket, const Eviction &ev, double now)
             dirty |= invalidateCore(core, line);
             if (!functional_)
                 ++stats_.invalidations;
-            entry->coreMask &= ~bit(core);
-            if (entry->owner == static_cast<int8_t>(core))
+            entry->coreMask &= ~coreBit(core);
+            if (entry->owner == static_cast<int16_t>(core))
                 entry->owner = -1;
         }
-        entry->socketMask &= ~bit(socket);
+        entry->socketMask &= ~socketBit(socket);
         maybeEraseDir(line);
     }
     if (dirty)
@@ -267,8 +262,8 @@ MemSystem::fillL2(unsigned core, uint64_t line, LineState state, double now)
 
     DirEntry *entry = findDir(ev->line);
     if (entry) {
-        entry->coreMask &= ~bit(core);
-        if (entry->owner == static_cast<int8_t>(core))
+        entry->coreMask &= ~coreBit(core);
+        if (entry->owner == static_cast<int16_t>(core))
             entry->owner = -1;
         maybeEraseDir(ev->line);
     }
@@ -310,8 +305,8 @@ MemSystem::access(unsigned core, uint64_t addr, bool is_write, double now)
         if (l2_[core].contains(line))
             l2_[core].setState(line, LineState::Modified);
         DirEntry &entry = dirEntry(line);
-        entry.coreMask |= bit(core);
-        entry.owner = static_cast<int8_t>(core);
+        entry.coreMask |= coreBit(core);
+        entry.owner = static_cast<int16_t>(core);
         ++stats_.l1Hits;
         const double latency = config_.l1d.latency + config_.upgradeLatency +
             (remote ? config_.remoteCacheLatency : 0.0);
@@ -330,8 +325,8 @@ MemSystem::access(unsigned core, uint64_t addr, bool is_write, double now)
             l2_[core].setState(line, LineState::Modified);
             state = LineState::Modified;
             DirEntry &entry = dirEntry(line);
-            entry.coreMask |= bit(core);
-            entry.owner = static_cast<int8_t>(core);
+            entry.coreMask |= coreBit(core);
+            entry.owner = static_cast<int16_t>(core);
             extra = config_.upgradeLatency +
                 (remote ? config_.remoteCacheLatency : 0.0);
         }
@@ -345,8 +340,9 @@ MemSystem::access(unsigned core, uint64_t addr, bool is_write, double now)
     DirEntry *entry = findDir(line);
 
     if (is_write) {
-        if (entry && ((entry->coreMask & ~bit(core)) || entry->owner >= 0 ||
-                      (entry->socketMask & ~bit(socket)))) {
+        if (entry && ((entry->coreMask & ~coreBit(core)) ||
+                      entry->owner >= 0 ||
+                      (entry->socketMask & ~socketBit(socket)))) {
             const bool remote = invalidateSharers(core, line, now);
             extra += config_.upgradeLatency +
                 (remote ? config_.remoteCacheLatency : 0.0);
@@ -369,7 +365,7 @@ MemSystem::access(unsigned core, uint64_t addr, bool is_write, double now)
     } else {
         ++stats_.llcMisses;
         entry = findDir(line);
-        if (entry && (entry->socketMask & ~bit(socket))) {
+        if (entry && (entry->socketMask & ~socketBit(socket))) {
             ++stats_.remoteHits;
             base_latency = config_.remoteCacheLatency;
             level = MemLevel::RemoteCache;
@@ -389,10 +385,10 @@ MemSystem::access(unsigned core, uint64_t addr, bool is_write, double now)
     fillL1(core, line, priv_state);
 
     DirEntry &final_entry = dirEntry(line);
-    final_entry.coreMask |= bit(core);
-    final_entry.socketMask |= bit(socket);
+    final_entry.coreMask |= coreBit(core);
+    final_entry.socketMask |= socketBit(socket);
     if (is_write)
-        final_entry.owner = static_cast<int8_t>(core);
+        final_entry.owner = static_cast<int16_t>(core);
 
     return {base_latency + extra, level};
 }
@@ -430,10 +426,10 @@ MemSystem::installFunctional(unsigned core, uint64_t line_addr,
         l3_[socket].setState(line, LineState::Modified);
 
     DirEntry &entry = dirEntry(line);
-    entry.coreMask |= bit(core);
-    entry.socketMask |= bit(socket);
+    entry.coreMask |= coreBit(core);
+    entry.socketMask |= socketBit(socket);
     if (written)
-        entry.owner = static_cast<int8_t>(core);
+        entry.owner = static_cast<int16_t>(core);
     functional_ = false;
 }
 

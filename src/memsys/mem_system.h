@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/memsys/cache.h"
+#include "src/support/coremask.h"
 
 namespace bp {
 
@@ -169,10 +170,16 @@ class MemSystem
     /** Directory entry for one line. */
     struct DirEntry
     {
-        uint32_t coreMask = 0;   ///< cores that may hold the line (L1/L2)
-        uint32_t socketMask = 0; ///< sockets holding the line in L3
-        int8_t owner = -1;       ///< core with the Modified copy, or -1
+        uint64_t coreMask = 0;   ///< cores that may hold the line (L1/L2)
+        uint64_t socketMask = 0; ///< sockets holding the line in L3
+        int16_t owner = -1;      ///< core with the Modified copy, or -1
     };
+    static_assert(sizeof(decltype(DirEntry::coreMask)) * 8 >= kMaxCores,
+                  "coreMask must cover kMaxCores holder bits");
+    static_assert(sizeof(decltype(DirEntry::socketMask)) * 8 >= kMaxSockets,
+                  "socketMask must cover kMaxSockets holder bits");
+    static_assert(kMaxCores <= INT16_MAX,
+                  "owner must be able to index every core");
 
     DirEntry &dirEntry(uint64_t line);
     DirEntry *findDir(uint64_t line);

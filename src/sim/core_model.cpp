@@ -47,6 +47,9 @@ CoreModel::trainPredictor(const std::vector<MicroOp> &stream)
             last = op.bb;
         }
     }
+    // Persist the history so the trained control flow chains into the
+    // region's first branch (and into repeated warmup passes).
+    lastBb_ = last;
 }
 
 size_t
@@ -71,6 +74,7 @@ CoreModel::execute(const std::vector<MicroOp> &stream, size_t offset,
         cycles_ += issue_cost;
 
         if (op.isMem()) {
+            const double issued = cycles_;
             const AccessResult result =
                 mem.access(coreId_, op.addr, op.kind == OpKind::Store,
                            cycles_);
@@ -80,9 +84,15 @@ CoreModel::execute(const std::vector<MicroOp> &stream, size_t offset,
             cycles_ += result.latency * config_.dependencyFraction;
 
             // Long-latency component: the part the ROB cannot hide.
+            // A miss is outstanding from issue until its data
+            // returns; exactly the misses issued inside that window
+            // overlap with it, up to the machine's MLP limit.
+            // Anchoring the window one stall *past* the resolution
+            // point would double-count the stall and merge misses
+            // that never coexisted.
             double stall = result.latency - rob_credit;
             if (stall > 0.0) {
-                if (cycles_ < missWindowEnd_) {
+                if (issued < missWindowEnd_) {
                     overlapCount_ =
                         std::min(overlapCount_ + 1, config_.mlpLimit);
                 } else {
@@ -90,7 +100,8 @@ CoreModel::execute(const std::vector<MicroOp> &stream, size_t offset,
                 }
                 stall /= overlapCount_;
                 cycles_ += stall;
-                missWindowEnd_ = cycles_ + stall;
+                missWindowEnd_ =
+                    std::max(missWindowEnd_, issued + result.latency);
             }
         }
         ++retired_;

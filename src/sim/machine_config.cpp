@@ -13,7 +13,8 @@ MachineConfig::secondsFromCycles(double cycles) const
 MachineConfig
 MachineConfig::withCores(unsigned cores)
 {
-    BP_ASSERT(cores >= 1 && cores <= 32, "supported core counts: 1..32");
+    if (cores < 1 || cores > kMaxCores)
+        fatal("supported core counts: 1..%u, got %u", kMaxCores, cores);
     MachineConfig config;
     config.name = std::to_string(cores) + "-core";
     config.numCores = cores;
@@ -29,19 +30,19 @@ MachineConfig::byName(const std::string &name)
     const size_t at = name.rfind(suffix);
     if (at == std::string::npos || at == 0 ||
         at + suffix.size() != name.size())
-        fatal("unknown machine '%s' (expected '<N>-core', N in [1, 32])",
-              name.c_str());
+        fatal("unknown machine '%s' (expected '<N>-core', N in [1, %u])",
+              name.c_str(), kMaxCores);
     unsigned cores = 0;
     for (size_t i = 0; i < at; ++i) {
         const char c = name[i];
-        if (c < '0' || c > '9' || cores > 32)
-            fatal("unknown machine '%s' (expected '<N>-core', N in [1, 32])",
-                  name.c_str());
+        if (c < '0' || c > '9' || cores > kMaxCores)
+            fatal("unknown machine '%s' (expected '<N>-core', N in [1, %u])",
+                  name.c_str(), kMaxCores);
         cores = cores * 10 + static_cast<unsigned>(c - '0');
     }
-    if (cores < 1 || cores > 32)
-        fatal("unknown machine '%s' (expected '<N>-core', N in [1, 32])",
-              name.c_str());
+    if (cores < 1 || cores > kMaxCores)
+        fatal("unknown machine '%s' (expected '<N>-core', N in [1, %u])",
+              name.c_str(), kMaxCores);
     return withCores(cores);
 }
 
@@ -55,6 +56,12 @@ MachineConfig
 MachineConfig::cores32()
 {
     return withCores(32);
+}
+
+MachineConfig
+MachineConfig::cores64()
+{
+    return withCores(64);
 }
 
 } // namespace bp

@@ -15,11 +15,15 @@ namespace bp {
 /**
  * Core and system parameters of a simulation target.
  *
- * The two factory functions reproduce the paper's configurations:
- * an 8-core single-socket machine and a 32-core four-socket machine,
- * both with 2.66 GHz 4-wide cores, 128-entry ROBs, a three-level
- * cache hierarchy (L1/L2 private, 8 MB L3 shared per 8-core socket),
- * MSI directory coherence, and 65 ns / 8 GB-per-socket DRAM.
+ * The cores8()/cores32() factories reproduce the paper's Table I
+ * configurations: an 8-core single-socket machine and a 32-core
+ * four-socket machine, both with 2.66 GHz 4-wide cores, 128-entry
+ * ROBs, a three-level cache hierarchy (L1/L2 private, 8 MB L3 shared
+ * per 8-core socket), MSI directory coherence, and 65 ns /
+ * 8 GB-per-socket DRAM. cores64() extends the same NUMA recipe to an
+ * eight-socket machine, the projection target for the paper's
+ * relative-scaling use case (Fig. 8); any width up to kMaxCores is
+ * available through withCores().
  */
 struct MachineConfig
 {
@@ -66,13 +70,17 @@ struct MachineConfig
     /** The paper's 32-core, four-socket machine. */
     static MachineConfig cores32();
 
+    /** A 64-core, eight-socket machine (scaling-projection target). */
+    static MachineConfig cores64();
+
     /** A machine with @p cores cores (8 per socket), for sweeps. */
     static MachineConfig withCores(unsigned cores);
 
     /**
      * Look up a configuration by its name() string, e.g. "8-core",
-     * "32-core", or any "<N>-core" with N in [1, 32]. Calls fatal()
-     * on an unparseable name (user error).
+     * "64-core", or any "<N>-core" with N in [1, 64] (the directory's
+     * kMaxCores capacity). Calls fatal() on an unparseable name
+     * (user error).
      */
     static MachineConfig byName(const std::string &name);
 };

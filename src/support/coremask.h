@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Capacity of "a set of cores" encoded as a bit mask.
+ *
+ * Several layers encode core sets as holder masks: the simulator's
+ * coherence directory (DirEntry::coreMask), the pipeline's
+ * coherence-aware warmup capture, and — indirectly — every thread or
+ * core-count cap (Workload, MachineConfig, MemSystem). They all
+ * derive their limit from the one constant here, so widening the
+ * masks again is a single-header change, and the shift helpers keep
+ * every `1 << index` site UB-free by construction.
+ */
+
+#ifndef BP_SUPPORT_COREMASK_H
+#define BP_SUPPORT_COREMASK_H
+
+#include <cstdint>
+
+namespace bp {
+
+/**
+ * Hard capacity of a 64-bit core holder mask. MemSystem's
+ * constructor is the single place that asserts a configuration
+ * against it at runtime.
+ */
+inline constexpr unsigned kMaxCores = 64;
+
+/**
+ * Socket capacity of a directory socket mask. Matches kMaxCores so
+ * every coresPerSocket >= 1 split of a maximal machine fits (the
+ * standard Table I recipe is 8 cores per socket, but single-core
+ * sockets are legal).
+ */
+inline constexpr unsigned kMaxSockets = kMaxCores;
+
+/** @return the holder-mask bit for @p core (64-bit, UB-free to 63). */
+constexpr uint64_t
+coreBit(unsigned core)
+{
+    return uint64_t{1} << core;
+}
+
+/** @return the socket-mask bit for @p socket (same 64-bit capacity). */
+constexpr uint64_t
+socketBit(unsigned socket)
+{
+    return uint64_t{1} << socket;
+}
+
+} // namespace bp
+
+#endif // BP_SUPPORT_COREMASK_H

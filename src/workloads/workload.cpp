@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/support/coremask.h"
 #include "src/support/logging.h"
 #include "src/support/rng.h"
 
@@ -10,11 +11,13 @@ namespace bp {
 Workload::Workload(std::string name, const WorkloadParams &params)
     : name_(std::move(name)), params_(params)
 {
-    // Profiling-side structures (coherence holder masks) support up
-    // to 64 threads; simulation machines are separately capped at 32
-    // cores by MachineConfig::withCores.
-    BP_ASSERT(params_.threads >= 1 && params_.threads <= 64,
-              "thread count must be in [1, 64]");
+    // Both sides of the pipeline encode "a set of cores" as a 64-bit
+    // holder mask (the profiler's capture state and the simulator's
+    // coherence directory), so threads are capped at the directory's
+    // kMaxCores capacity and every workload is simulable as profiled.
+    if (params_.threads < 1 || params_.threads > kMaxCores)
+        fatal("thread count must be in [1, %u], got %u", kMaxCores,
+              params_.threads);
     BP_ASSERT(params_.scale > 0.0, "scale must be positive");
     uint64_t name_hash = 0xcbf29ce484222325ull;
     for (const char c : name_)

@@ -85,6 +85,32 @@ TEST(CacheTest, ReinsertExistingLineKeepsOccupancy)
     EXPECT_EQ(c.state(3), LineState::Modified);
 }
 
+TEST(CacheTest, ReinsertSharedOverModifiedKeepsModified)
+{
+    // Regression: re-inserting a Shared copy over a resident Modified
+    // line used to silently downgrade it, losing the dirtiness (and
+    // the eventual writeback) without any writeback of its own.
+    SetAssocCache c(smallCache());
+    c.insert(3, LineState::Modified);
+    c.insert(3, LineState::Shared);
+    EXPECT_EQ(c.state(3), LineState::Modified);
+    // The merged line still writes back when evicted.
+    c.insert(7, LineState::Shared);
+    c.touch(7, c.lookup(7));
+    const auto ev = c.insert(11, LineState::Shared);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->line, 3u);
+    EXPECT_TRUE(ev->dirty);
+}
+
+TEST(CacheTest, ReinsertSharedOverSharedStaysShared)
+{
+    SetAssocCache c(smallCache());
+    c.insert(3, LineState::Shared);
+    c.insert(3, LineState::Shared);
+    EXPECT_EQ(c.state(3), LineState::Shared);
+}
+
 TEST(CacheTest, InvalidateReturnsPriorState)
 {
     SetAssocCache c(smallCache());

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "src/core/kmeans.h"
+#include "src/core/signature.h"
 #include "src/support/rng.h"
 
 namespace bp {
@@ -36,6 +37,60 @@ TEST(KMeansTest, SingleClusterCentroidIsWeightedMean)
     const auto result = kmeansCluster(points, weights, 1, 7);
     ASSERT_EQ(result.centroids.size(), 1u);
     EXPECT_NEAR(result.centroids[0][0], 7.5, 1e-9);
+}
+
+/** Recompute the weighted SSE a result claims, from its own fields. */
+double
+recomputeSse(const std::vector<std::vector<double>> &points,
+             const std::vector<double> &weights, const KMeansResult &result)
+{
+    double sse = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        sse += weights[i] *
+            squaredDistance(points[i],
+                            result.centroids[result.assignment[i]]);
+    }
+    return sse;
+}
+
+TEST(KMeansTest, SseConsistentOnIterationLimitExit)
+{
+    // Regression: with the iteration budget exhausted mid-run, lloyd()
+    // used to return pre-update assignments paired with post-update
+    // centroids, so points were scored against centroids they were
+    // never assigned to and the BIC k-sweep compared inconsistent
+    // scores. After the fix every point must be assigned to its
+    // nearest centroid, whichever exit path was taken.
+    const auto points = blobs({{0, 0}, {8, 0}, {0, 8}, {8, 8}}, 25, 2.5, 17);
+    const std::vector<double> weights(points.size(), 1.0);
+    for (const unsigned max_iterations : {1u, 2u, 3u}) {
+        for (const uint64_t seed : {7u, 41u, 99u}) {
+            const auto result =
+                kmeansCluster(points, weights, 4, seed, max_iterations, 1);
+            for (size_t i = 0; i < points.size(); ++i) {
+                const double assigned = squaredDistance(
+                    points[i], result.centroids[result.assignment[i]]);
+                for (const auto &centroid : result.centroids) {
+                    EXPECT_LE(assigned,
+                              squaredDistance(points[i], centroid) + 1e-12)
+                        << "iters=" << max_iterations << " seed=" << seed
+                        << " point=" << i;
+                }
+            }
+            EXPECT_NEAR(result.weightedSse,
+                        recomputeSse(points, weights, result),
+                        1e-9 * std::max(1.0, result.weightedSse));
+        }
+    }
+}
+
+TEST(KMeansTest, ConvergedRunIsAlsoSseConsistent)
+{
+    const auto points = blobs({{0, 0}, {50, 50}}, 10, 1.0, 23);
+    const std::vector<double> weights(points.size(), 2.0);
+    const auto result = kmeansCluster(points, weights, 2, 5);
+    EXPECT_NEAR(result.weightedSse, recomputeSse(points, weights, result),
+                1e-9);
 }
 
 TEST(KMeansTest, RecoversWellSeparatedClusters)

@@ -297,6 +297,118 @@ TEST(MemSystemTest, LevelNames)
     EXPECT_STREQ(memLevelName(MemLevel::Dram), "dram");
 }
 
+// ------------------------------------------- many-core directory (>32)
+
+MemSystemConfig
+configWide(unsigned cores)
+{
+    MemSystemConfig c;
+    c.numCores = cores;
+    c.coresPerSocket = 8;
+    return c;
+}
+
+TEST(MemSystemTest, SixtyFourCoreMachineConstructs)
+{
+    MemSystem m(configWide(64));
+    EXPECT_EQ(m.config().numSockets(), 8u);
+    EXPECT_EQ(m.socketOf(63), 7u);
+    m.access(63, addrOfLine(5), true, 0.0);
+    EXPECT_EQ(m.l1State(63, 5), LineState::Modified);
+}
+
+TEST(MemSystemTest, BeyondDirectoryCapacityIsRejected)
+{
+    EXPECT_DEATH({ MemSystem m(configWide(65)); }, "\\[1, 64\\]");
+}
+
+/**
+ * Directory regression suite above the old 32-core ceiling: every
+ * operation that walks or updates the holder mask must behave
+ * identically for core indices >= 32, where the old `1u << index`
+ * was undefined behaviour (and on x86 aliased index - 32).
+ */
+class ManyCoreDirectoryTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(ManyCoreDirectoryTest, WriteInvalidatesEverySharer)
+{
+    const unsigned cores = GetParam();
+    MemSystem m(configWide(cores));
+    for (unsigned c = 0; c < cores; ++c)
+        m.access(c, addrOfLine(100), false, 0.0);
+    const unsigned writer = cores - 1;
+    m.access(writer, addrOfLine(100), true, 0.0);
+    for (unsigned c = 0; c < cores; ++c) {
+        if (c == writer) {
+            EXPECT_EQ(m.l1State(c, 100), LineState::Modified);
+        } else {
+            EXPECT_EQ(m.l1State(c, 100), LineState::Invalid)
+                << "sharer " << c << " survived the invalidation";
+        }
+    }
+    EXPECT_GE(m.stats().invalidations, cores - 1);
+}
+
+TEST_P(ManyCoreDirectoryTest, LowIndexWriteInvalidatesHighIndexSharers)
+{
+    const unsigned cores = GetParam();
+    MemSystem m(configWide(cores));
+    // Only the cores above the old ceiling share the line.
+    for (unsigned c = 32; c < cores; ++c)
+        m.access(c, addrOfLine(200), false, 0.0);
+    m.access(0, addrOfLine(200), true, 0.0);
+    for (unsigned c = 32; c < cores; ++c)
+        EXPECT_EQ(m.l1State(c, 200), LineState::Invalid) << "core " << c;
+    EXPECT_EQ(m.l1State(0, 200), LineState::Modified);
+}
+
+TEST_P(ManyCoreDirectoryTest, OwnerForwardingFromHighIndexCore)
+{
+    const unsigned cores = GetParam();
+    MemSystem m(configWide(cores));
+    const unsigned owner = cores - 1;
+    m.access(owner, addrOfLine(7), true, 0.0);
+    // A remote read must downgrade the high-index Modified owner and
+    // pay the dirty-forward latency on top of the serving level.
+    const auto r = m.access(0, addrOfLine(7), false, 0.0);
+    EXPECT_EQ(m.l1State(owner, 7), LineState::Shared);
+    EXPECT_EQ(m.l1State(0, 7), LineState::Shared);
+    EXPECT_GE(r.latency, m.config().dirtyForwardLatency);
+}
+
+TEST_P(ManyCoreDirectoryTest, L3EvictionBackInvalidatesHighIndexCore)
+{
+    MemSystemConfig cfg = configWide(GetParam());
+    cfg.l3 = CacheGeometry{16 * 1024, 2, 30};  // 128 sets x 2 ways
+    MemSystem m(cfg);
+    const unsigned core = cfg.numCores - 1;  // last core, last socket
+    const uint64_t stride = cfg.l3.numSets();
+    // Dirty line 0 in the high-index core, then force it out of the
+    // socket's inclusive L3: the back-invalidation must reach the
+    // core's private caches and write the dirty data back.
+    m.access(core, addrOfLine(0), true, 0.0);
+    m.access(core, addrOfLine(stride), false, 0.0);
+    m.access(core, addrOfLine(2 * stride), false, 0.0);
+    EXPECT_EQ(m.l1State(core, 0), LineState::Invalid);
+    EXPECT_GT(m.stats().dramWrites, 0u);
+}
+
+TEST_P(ManyCoreDirectoryTest, HighSocketRemoteHit)
+{
+    const unsigned cores = GetParam();
+    MemSystem m(configWide(cores));
+    const unsigned remote_core = cores - 1;
+    ASSERT_GE(m.socketOf(remote_core), 4u);  // beyond the paper's 4
+    m.access(0, addrOfLine(300), false, 0.0);
+    const auto r = m.access(remote_core, addrOfLine(300), false, 0.0);
+    EXPECT_EQ(r.level, MemLevel::RemoteCache);
+    EXPECT_EQ(m.stats().remoteHits, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WideCoreCounts, ManyCoreDirectoryTest,
+                         ::testing::Values(33u, 48u, 64u));
+
 /** Coherence invariant sweep: random accesses from random cores. */
 class CoherenceRandomTest : public ::testing::TestWithParam<unsigned>
 {};
@@ -333,7 +445,7 @@ TEST_P(CoherenceRandomTest, SingleWriterInvariant)
 }
 
 INSTANTIATE_TEST_SUITE_P(CoreCounts, CoherenceRandomTest,
-                         ::testing::Values(2u, 8u, 32u));
+                         ::testing::Values(2u, 8u, 32u, 33u, 48u, 64u));
 
 } // namespace
 } // namespace bp

@@ -214,6 +214,34 @@ TEST(PipelineTest, ThreadCountBeyondHolderMaskIsRejected)
     EXPECT_DEATH({ const WideWorkload workload(65); }, "\\[1, 64\\]");
 }
 
+TEST(PipelineTest, FullPipelineBeyond32Threads)
+{
+    // The many-core scenario the widened directory opens: a workload
+    // above the old 32-core simulation ceiling runs the complete
+    // profile -> analyze -> snapshot -> simulate -> reconstruct chain,
+    // and the barrierpoint estimate tracks the full reference run.
+    const unsigned threads = 48;
+    const auto wl = smallWorkload(threads, 13, 3);
+    const auto machine = MachineConfig::withCores(threads);
+    ASSERT_EQ(machine.mem.numSockets(), 6u);
+
+    const auto profiles = profileWorkload(*wl);
+    ASSERT_EQ(profiles.size(), wl->regionCount());
+    for (const auto &profile : profiles)
+        EXPECT_EQ(profile.threads.size(), threads);
+
+    const auto analysis = analyzeProfiles(profiles);
+    const auto snapshots =
+        captureAnalysisSnapshots(*wl, machine, analysis);
+    const auto stats =
+        simulateBarrierPoints(*wl, machine, analysis, snapshots);
+    const auto estimate = reconstruct(analysis, stats);
+    const auto reference = runReference(*wl, machine);
+    EXPECT_LT(percentAbsError(estimate.totalCycles,
+                              reference.totalCycles()),
+              10.0);
+}
+
 TEST(PipelineTest, AnalyzeProfilesAllowsSignatureSweeps)
 {
     const auto wl = smallWorkload(2, 16, 3);

@@ -129,6 +129,125 @@ TEST(CoreModelTest, MispredictPenaltyVisible)
     EXPECT_GT(us.cycles, ss.cycles);
 }
 
+TEST(CoreModelTest, MissAfterResolutionDoesNotOverlap)
+{
+    // Regression: the MLP window used to extend one full stall past
+    // the point where the miss resolves (missWindowEnd = cycles +
+    // stall after cycles had already absorbed the stall), so a miss
+    // issued long after the first had resolved was still halved.
+    // Enough ALU work separates the two cold misses that the second
+    // issues after the first's data returned (but still inside the
+    // old, doubled window): both full stalls must be charged.
+    const MachineConfig cfg = MachineConfig::withCores(1);
+    MultiCoreSim sim(cfg);
+    const unsigned filler = 60;  // 15 cycles at width 4: past resolution
+    RegionTrace trace(0, 1);
+    trace.thread(0).push_back(MicroOp::load(1, 0));
+    for (unsigned i = 0; i < filler; ++i)
+        trace.thread(0).push_back(MicroOp::alu(1));
+    trace.thread(0).push_back(MicroOp::load(1, 1024 * kLineBytes));
+    const auto stats = sim.simulateRegion(trace);
+
+    const double dram = cfg.mem.dramLatency;
+    const double issue = (2.0 + filler) / cfg.issueWidth;
+    const double dep = 2.0 * dram * cfg.dependencyFraction;
+    const double stall = 2.0 * (dram - cfg.robCredit());
+    EXPECT_NEAR(stats.cycles - cfg.barrierCost(),
+                issue + dep + stall, 1e-9);
+}
+
+TEST(CoreModelTest, BackToBackDramMissesOverlap)
+{
+    // Independent adjacent misses issue while the previous one is
+    // still outstanding, so the second stall is divided by the
+    // overlap count — memory-level parallelism survives the window
+    // fix above.
+    const MachineConfig cfg = MachineConfig::withCores(1);
+    MultiCoreSim sim(cfg);
+    RegionTrace trace(0, 1);
+    trace.thread(0).push_back(MicroOp::load(1, 0));
+    trace.thread(0).push_back(MicroOp::load(1, 1024 * kLineBytes));
+    const auto stats = sim.simulateRegion(trace);
+
+    const double dram = cfg.mem.dramLatency;
+    const double issue = 2.0 / cfg.issueWidth;
+    const double dep = 2.0 * dram * cfg.dependencyFraction;
+    const double stall = dram - cfg.robCredit();
+    EXPECT_NEAR(stats.cycles - cfg.barrierCost(),
+                issue + dep + stall + stall / 2.0, 1e-9);
+}
+
+TEST(CoreModelTest, MissesWithinOutstandingWindowOverlap)
+{
+    // Counterpart to the regression above: MLP modeling must stay
+    // alive. With a latency short enough that the next miss issues
+    // while the first is still outstanding (issue + latency), the
+    // second stall is halved.
+    MachineConfig cfg = MachineConfig::withCores(1);
+    cfg.mem.dramLatency = 60.0;
+    MultiCoreSim sim(cfg);
+    RegionTrace trace(0, 1);
+    trace.thread(0).push_back(MicroOp::load(1, 0));
+    trace.thread(0).push_back(MicroOp::load(1, 1024 * kLineBytes));
+    const auto stats = sim.simulateRegion(trace);
+
+    const double dram = cfg.mem.dramLatency;
+    const double issue = 2.0 / cfg.issueWidth;
+    const double dep = 2.0 * dram * cfg.dependencyFraction;
+    const double stall = dram - cfg.robCredit();
+    EXPECT_NEAR(stats.cycles - cfg.barrierCost(),
+                issue + dep + stall + stall / 2.0, 1e-9);
+}
+
+TEST(CoreModelTest, TrainPredictorPersistsFinalBasicBlock)
+{
+    // Regression: trainPredictor walked the warmup stream with a local
+    // `last` and never wrote lastBb_ back, so the trained history did
+    // not chain into the region's first branch.
+    const MachineConfig cfg = MachineConfig::withCores(1);
+    MemSystem mem(cfg.mem);
+    CoreModel core(0, cfg);
+
+    // Execute a region ending in bb 2 so the history is non-empty.
+    const std::vector<MicroOp> r0{MicroOp::alu(2)};
+    core.beginRegion();
+    core.execute(r0, 0, r0.size(), mem);
+
+    // Warm up on a stream ending in bb 8.
+    const std::vector<MicroOp> warmup{MicroOp::alu(7), MicroOp::alu(8)};
+    core.trainPredictor(warmup);
+
+    // A region that continues where the warmup left off (first op in
+    // bb 8) begins with no control transfer at all. With the stale
+    // history the model saw a spurious (untrained) 2 -> 8 branch.
+    const std::vector<MicroOp> r1{MicroOp::alu(8)};
+    core.beginRegion();
+    core.execute(r1, 0, r1.size(), mem);
+    EXPECT_EQ(core.mispredicts(), 0u);
+}
+
+TEST(CoreModelTest, RepeatedWarmupPassesChainHistory)
+{
+    // Two trainPredictor calls on the same stream must train the
+    // wrap-around transition (last bb -> first bb), exactly as two
+    // consecutive executions of the phase would.
+    const MachineConfig cfg = MachineConfig::withCores(1);
+    MemSystem mem(cfg.mem);
+    CoreModel core(0, cfg);
+
+    std::vector<MicroOp> loop;
+    for (unsigned i = 0; i < 4; ++i) {
+        loop.push_back(MicroOp::alu(10));
+        loop.push_back(MicroOp::alu(11));
+    }
+    core.trainPredictor(loop);
+    core.trainPredictor(loop);  // trains 11 -> 10 across the seam
+
+    core.beginRegion();
+    core.execute(loop, 0, loop.size(), mem);
+    EXPECT_EQ(core.mispredicts(), 0u);
+}
+
 TEST(CoreModelTest, TrainPredictorsRemovesColdMispredicts)
 {
     const MachineConfig cfg = MachineConfig::withCores(1);
@@ -294,8 +413,28 @@ TEST(MachineConfigTest, Factories)
     const auto m32 = MachineConfig::cores32();
     EXPECT_EQ(m32.numCores, 32u);
     EXPECT_EQ(m32.mem.numSockets(), 4u);
+    const auto m64 = MachineConfig::cores64();
+    EXPECT_EQ(m64.numCores, 64u);
+    EXPECT_EQ(m64.mem.numSockets(), 8u);
     EXPECT_DOUBLE_EQ(m8.robCredit(), 32.0);
     EXPECT_NEAR(m8.secondsFromCycles(2.66e9), 1.0, 1e-9);
+}
+
+TEST(MachineConfigTest, ByNameCoversTheFullDirectoryRange)
+{
+    for (const unsigned cores : {1u, 8u, 33u, 48u, 64u}) {
+        const auto m =
+            MachineConfig::byName(std::to_string(cores) + "-core");
+        EXPECT_EQ(m.numCores, cores);
+        EXPECT_EQ(m.mem.numCores, cores);
+    }
+    EXPECT_DEATH(MachineConfig::byName("65-core"), "\\[1, 64\\]");
+    EXPECT_DEATH(MachineConfig::byName("0-core"), "\\[1, 64\\]");
+}
+
+TEST(MachineConfigTest, WithCoresBeyondDirectoryCapacityIsRejected)
+{
+    EXPECT_DEATH(MachineConfig::withCores(65), "1\\.\\.64");
 }
 
 } // namespace

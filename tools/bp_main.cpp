@@ -27,6 +27,7 @@
 
 #include "src/core/artifacts.h"
 #include "src/core/barrierpoint.h"
+#include "src/support/coremask.h"
 #include "src/support/logging.h"
 #include "src/support/serialize.h"
 #include "src/support/stats.h"
@@ -53,7 +54,7 @@ const char *kUsage =
     "  report     reconstruct whole-program metrics from artifacts\n"
     "               --analysis FILE --result FILE [--reference FILE]\n"
     "\n"
-    "Machine names: \"<N>-core\" with N in [1, 32], e.g. 8-core, 32-core.\n"
+    "Machine names: \"<N>-core\" with N in [1, 64], e.g. 8-core, 64-core.\n"
     "Workload names: ";
 
 /** Tiny --key value argument list with required/optional lookups. */
@@ -172,8 +173,9 @@ cmdProfile(const Args &args)
     const unsigned jobs = static_cast<unsigned>(args.integer("--jobs", 1));
     const std::string out = args.required("--output");
     args.finish();
-    if (artifact.workload.threads < 1 || artifact.workload.threads > 64)
-        fatal("--threads must be in [1, 64], got %u",
+    if (artifact.workload.threads < 1 ||
+        artifact.workload.threads > kMaxCores)
+        fatal("--threads must be in [1, %u], got %u", kMaxCores,
               artifact.workload.threads);
     if (artifact.workload.scale <= 0.0)
         fatal("--scale must be positive");
@@ -226,6 +228,24 @@ cmdAnalyze(const Args &args)
                 analysis.serialSpeedup(), analysis.parallelSpeedup(),
                 analysis.resourceReduction());
     return 0;
+}
+
+/**
+ * The CLI simulates the workload at the thread count it was profiled
+ * with, so the target machine needs at least that many cores; reject
+ * a narrower machine with an actionable error instead of tripping
+ * the simulator's internal assertion.
+ */
+void
+checkMachineFitsWorkload(const MachineConfig &machine,
+                         const WorkloadSpec &workload)
+{
+    if (machine.numCores < workload.threads)
+        fatal("machine %s has %u cores but the analysis was profiled "
+              "with %u threads; pick a machine with >= %u cores or "
+              "re-profile at a narrower width",
+              machine.name.c_str(), machine.numCores, workload.threads,
+              workload.threads);
 }
 
 /**
@@ -297,6 +317,7 @@ cmdSimulate(const Args &args)
     const AnalysisArtifact artifact = loadAnalysisArtifact(in);
     const auto workload = artifact.workload.instantiate();
     const MachineConfig machine = MachineConfig::byName(machine_name);
+    checkMachineFitsWorkload(machine, artifact.workload);
 
     RunResultArtifact result;
     result.workload = artifact.workload;
@@ -336,6 +357,7 @@ cmdReference(const Args &args)
     const AnalysisArtifact artifact = loadAnalysisArtifact(in);
     const auto workload = artifact.workload.instantiate();
     const MachineConfig machine = MachineConfig::byName(machine_name);
+    checkMachineFitsWorkload(machine, artifact.workload);
 
     RunResultArtifact result;
     result.workload = artifact.workload;
