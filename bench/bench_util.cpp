@@ -26,58 +26,45 @@ BenchContext::machine(unsigned threads)
     return MachineConfig::withCores(threads);
 }
 
-Workload &
-BenchContext::workload(const std::string &name, unsigned threads)
+Experiment &
+BenchContext::experiment(const std::string &name, unsigned threads)
 {
     const Key key{name, threads};
-    auto it = workloads_.find(key);
-    if (it == workloads_.end()) {
-        WorkloadParams params;
-        params.threads = threads;
-        params.scale = scale_;
-        it = workloads_.emplace(key, makeWorkload(name, params)).first;
+    auto it = experiments_.find(key);
+    if (it == experiments_.end()) {
+        WorkloadSpec spec;
+        spec.name = name;
+        spec.threads = threads;
+        spec.scale = scale_;
+        it = experiments_
+                 .emplace(key, std::make_unique<Experiment>(spec))
+                 .first;
     }
     return *it->second;
+}
+
+const Workload &
+BenchContext::workload(const std::string &name, unsigned threads)
+{
+    return experiment(name, threads).workload();
 }
 
 const std::vector<RegionProfile> &
 BenchContext::profiles(const std::string &name, unsigned threads)
 {
-    const Key key{name, threads};
-    auto it = profiles_.find(key);
-    if (it == profiles_.end()) {
-        it = profiles_.emplace(key,
-                               profileWorkload(workload(name, threads)))
-                 .first;
-    }
-    return it->second;
+    return experiment(name, threads).profiles();
 }
 
 const RunResult &
 BenchContext::reference(const std::string &name, unsigned threads)
 {
-    const Key key{name, threads};
-    auto it = references_.find(key);
-    if (it == references_.end()) {
-        it = references_.emplace(key,
-                                 runReference(workload(name, threads),
-                                              machine(threads)))
-                 .first;
-    }
-    return it->second;
+    return experiment(name, threads).reference(machine(threads));
 }
 
 const BarrierPointAnalysis &
 BenchContext::analysis(const std::string &name, unsigned threads)
 {
-    const Key key{name, threads};
-    auto it = analyses_.find(key);
-    if (it == analyses_.end()) {
-        it = analyses_.emplace(key,
-                               analyzeProfiles(profiles(name, threads)))
-                 .first;
-    }
-    return it->second;
+    return experiment(name, threads).analysis();
 }
 
 } // namespace bp

@@ -3,9 +3,10 @@
  * Shared infrastructure for the experiment-reproduction binaries.
  *
  * Each bench binary regenerates one table or figure of the paper.
- * BenchContext memoizes the expensive inputs (profiles, reference
- * runs) so a binary that needs several views of the same benchmark
- * pays for them once.
+ * BenchContext keeps one bp::Experiment session per (workload, thread
+ * count): the sessions memoize the expensive stages (profiles,
+ * analyses, MRU snapshots, reference runs), so a binary that needs
+ * several views of the same benchmark pays for them once.
  */
 
 #ifndef BP_BENCH_BENCH_UTIL_H
@@ -26,7 +27,7 @@ std::vector<std::string> benchWorkloads();
 /** Print a standard header naming the reproduced table/figure. */
 void printHeader(const std::string &title, const std::string &source);
 
-/** Memoizing provider of workloads, profiles and reference runs. */
+/** Memoizing provider of per-(workload, threads) Experiment sessions. */
 class BenchContext
 {
   public:
@@ -35,7 +36,10 @@ class BenchContext
     /** The machine configuration used for @p threads cores. */
     static MachineConfig machine(unsigned threads);
 
-    Workload &workload(const std::string &name, unsigned threads);
+    /** The session every accessor below delegates to. */
+    Experiment &experiment(const std::string &name, unsigned threads);
+
+    const Workload &workload(const std::string &name, unsigned threads);
 
     const std::vector<RegionProfile> &profiles(const std::string &name,
                                                unsigned threads);
@@ -52,10 +56,7 @@ class BenchContext
     using Key = std::pair<std::string, unsigned>;
 
     double scale_;
-    std::map<Key, std::unique_ptr<Workload>> workloads_;
-    std::map<Key, std::vector<RegionProfile>> profiles_;
-    std::map<Key, RunResult> references_;
-    std::map<Key, BarrierPointAnalysis> analyses_;
+    std::map<Key, std::unique_ptr<Experiment>> experiments_;
 };
 
 } // namespace bp

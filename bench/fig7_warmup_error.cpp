@@ -29,21 +29,18 @@ main()
         double err[2], apki[2], cold[2];
         unsigned idx = 0;
         for (const unsigned threads : {8u, 32u}) {
-            auto &workload = ctx.workload(name, threads);
+            auto &experiment = ctx.experiment(name, threads);
             const auto machine = BenchContext::machine(threads);
-            const auto &analysis = ctx.analysis(name, threads);
             const auto &reference = ctx.reference(name, threads);
 
-            const auto warm_stats = simulateBarrierPoints(
-                workload, machine, analysis, WarmupPolicy::MruReplay);
-            const auto warm = reconstruct(analysis, warm_stats);
+            const Estimate &warm =
+                experiment.estimate(machine, WarmupPolicy::MruReplay);
             err[idx] = percentAbsError(warm.totalCycles,
                                        reference.totalCycles());
             apki[idx] = std::fabs(warm.dramApki() - reference.dramApki());
 
-            const auto cold_stats = simulateBarrierPoints(
-                workload, machine, analysis, WarmupPolicy::Cold);
-            const auto cold_est = reconstruct(analysis, cold_stats);
+            const Estimate &cold_est =
+                experiment.estimate(machine, WarmupPolicy::Cold);
             cold[idx] = percentAbsError(cold_est.totalCycles,
                                         reference.totalCycles());
 

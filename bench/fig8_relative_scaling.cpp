@@ -42,13 +42,11 @@ main(int argc, char **argv)
         double base_actual = 0.0;
         double base_predicted = 0.0;
         for (const unsigned threads : sweep) {
-            auto &workload = ctx.workload(name, threads);
             const auto machine = BenchContext::machine(threads);
-            const auto &analysis = ctx.analysis(name, threads);
-            const auto stats = simulateBarrierPoints(
-                workload, machine, analysis, WarmupPolicy::MruReplay);
             const double predicted =
-                reconstruct(analysis, stats).totalCycles;
+                ctx.experiment(name, threads)
+                    .estimate(machine, WarmupPolicy::MruReplay)
+                    .totalCycles;
             const double actual = ctx.reference(name, threads).totalCycles();
             if (threads == sweep[0]) {
                 base_actual = actual;

@@ -87,7 +87,11 @@ main()
     std::printf("custom workload '%s': %u inter-barrier regions\n",
                 app.name().c_str(), app.regionCount());
 
-    const BarrierPointAnalysis analysis = analyzeWorkload(app);
+    // The session API works for any Workload subclass — borrow the
+    // instance (it outlives the experiment) and every stage derives
+    // from it lazily.
+    Experiment experiment(app);
+    const BarrierPointAnalysis &analysis = experiment.analysis();
     std::printf("selected %zu barrierpoints (k = %u):\n",
                 analysis.points.size(), analysis.chosenK);
     for (const auto &pt : analysis.points) {
@@ -96,15 +100,14 @@ main()
                     100.0 * pt.weightFraction);
     }
 
-    const auto stats = simulateBarrierPoints(app, machine, analysis,
-                                             WarmupPolicy::MruReplay);
-    const Estimate estimate = reconstruct(analysis, stats);
-    const RunResult reference = runReference(app, machine);
+    const SimulationResult &run =
+        experiment.simulate(machine, WarmupPolicy::MruReplay);
+    const RunResult &reference = experiment.reference(machine);
     std::printf("estimated %.3f ms vs reference %.3f ms (error %.2f%%), "
                 "serial speedup %.1fx\n",
-                1e3 * machine.secondsFromCycles(estimate.totalCycles),
+                1e3 * machine.secondsFromCycles(run.estimate.totalCycles),
                 1e3 * machine.secondsFromCycles(reference.totalCycles()),
-                percentAbsError(estimate.totalCycles,
+                percentAbsError(run.estimate.totalCycles,
                                 reference.totalCycles()),
                 analysis.serialSpeedup());
     return 0;

@@ -1,30 +1,30 @@
 /**
  * @file
- * Example: design-space exploration with a single persisted analysis.
+ * Example: design-space exploration with one persisted analysis.
  *
  * The paper's core promise: barrierpoints are selected once, in a
  * microarchitecture-independent way, then reused to compare machines.
- * This example runs the one-time analysis, persists it as an on-disk
- * artifact, and then — as N independent per-machine jobs would —
- * reloads it for each core count, simulating only the barrierpoints
- * on each target and comparing the predicted scaling curve against
- * full reference simulations. The same flow is scriptable across
- * processes with the `bp` CLI:
+ * A base bp::Experiment runs the one-time analysis against a shared
+ * artifact directory (so a later process — here a second Experiment
+ * on the same directory — reloads it instead of recomputing), and
+ * each design point reuses that analysis at its own width, simulating
+ * only the barrierpoints and comparing the predicted scaling curve
+ * against full reference simulations. The same flow is scriptable
+ * across processes with the `bp` CLI:
  *
- *   bp profile --workload npb-cg -o cg.profile.bp
- *   bp analyze --profile cg.profile.bp -o cg.analysis.bp
- *   for m in 8-core 16-core 32-core 48-core 64-core; do
- *     bp simulate --analysis cg.analysis.bp --machine $m \
- *                 -o cg.$m.result.bp &
- *   done
+ *   bp sweep --workload npb-cg \
+ *            --machines 8-core,16-core,32-core,48-core,64-core \
+ *            --artifacts cg.artifacts
  *
  * (The CLI simulates at the profiled thread count, so the machine
  * needs at least that many cores; this example goes further and
- * re-instantiates the workload at each width, down to 4 cores.)
+ * re-instantiates the workload at each width, down to 4 cores, by
+ * seeding per-width experiments from the base analysis.)
  */
 
 #include <cstdio>
-#include <cstdlib>
+#include <filesystem>
+#include <string>
 
 #include "src/core/barrierpoint.h"
 #include "src/support/stats.h"
@@ -34,47 +34,49 @@ main(int argc, char **argv)
 {
     using namespace bp;
     const std::string name = argc > 1 ? argv[1] : "npb-cg";
-    const std::string artifact_path = "design_space.analysis.bp";
+    const std::string artifact_dir = "design_space.artifacts";
 
-    // One-time analysis at the default thread count, persisted once.
+    WorkloadSpec base_spec;
+    base_spec.name = name;
+    base_spec.threads = 8;
+
+    // One-time analysis at the base thread count, persisted once.
     {
-        WorkloadParams base_params;
-        base_params.threads = 8;
-        const auto base = makeWorkload(name, base_params);
-        AnalysisArtifact artifact;
-        artifact.workload = WorkloadSpec::describe(*base);
-        artifact.analysis = analyzeWorkload(*base);
-        saveArtifact(artifact_path, artifact);
+        Experiment base(base_spec, {.artifactDir = artifact_dir});
+        base.analysis();
         std::printf("%s: %zu barrierpoints selected once (8-thread "
-                    "signatures), cached in %s\n\n",
-                    name.c_str(), artifact.analysis.points.size(),
-                    artifact_path.c_str());
+                    "signatures), cached in %s/\n\n",
+                    name.c_str(), base.analysis().points.size(),
+                    artifact_dir.c_str());
     }
+
+    // A second session on the same directory: the analysis reloads
+    // from disk — this is what each independent batch job would do.
+    Experiment resumed(base_spec, {.artifactDir = artifact_dir});
+    const BarrierPointAnalysis &analysis = resumed.analysis();
 
     std::printf("%-8s %14s %14s %10s %12s\n", "cores", "predicted(ms)",
                 "reference(ms)", "err%", "speedup");
 
     double first_predicted = 0.0;
     for (const unsigned cores : {4u, 8u, 16u, 32u, 48u, 64u}) {
-        // Per-design-point cost: reload the cached analysis (as an
-        // independent batch job would) and simulate only the
-        // barrierpoints.
-        const AnalysisArtifact artifact =
-            loadAnalysisArtifact(artifact_path);
-        WorkloadParams params = artifact.workload.params();
-        params.threads = cores;
-        const auto workload = makeWorkload(artifact.workload.name, params);
+        // Per-design-point cost: an experiment at this width, seeded
+        // with the shared microarchitecture-independent analysis, so
+        // only the barrierpoints are simulated in detail.
+        WorkloadSpec spec = base_spec;
+        spec.threads = cores;
+        Experiment point(spec);
+        point.seedAnalysis(analysis);
         const MachineConfig machine = MachineConfig::withCores(cores);
 
-        const auto stats = simulateBarrierPoints(
-            *workload, machine, artifact.analysis, WarmupPolicy::MruReplay);
-        const Estimate estimate = reconstruct(artifact.analysis, stats);
+        const SimulationResult &run =
+            point.simulate(machine, WarmupPolicy::MruReplay);
 
         // Reference (what the methodology avoids paying every time).
-        const RunResult reference = runReference(*workload, machine);
+        const RunResult &reference = point.reference(machine);
 
         const double predicted_ms =
-            1e3 * machine.secondsFromCycles(estimate.totalCycles);
+            1e3 * machine.secondsFromCycles(run.estimate.totalCycles);
         const double reference_ms =
             1e3 * machine.secondsFromCycles(reference.totalCycles());
         if (first_predicted == 0.0)
@@ -86,6 +88,6 @@ main(int argc, char **argv)
     }
     std::printf("\nThe same persisted barrierpoints and multipliers served "
                 "every design point.\n");
-    std::remove(artifact_path.c_str());
+    std::filesystem::remove_all(artifact_dir);
     return 0;
 }

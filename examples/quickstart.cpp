@@ -2,15 +2,18 @@
  * @file
  * Quickstart: sampled simulation of one benchmark, end to end.
  *
- * Runs the complete BarrierPoint flow on npb-ft (8 threads):
+ * Runs the complete BarrierPoint flow on npb-ft (8 threads) through
+ * the bp::Experiment session API:
  *   1. one-time microarchitecture-independent analysis
  *      (profile -> signatures -> clustering -> barrierpoints),
  *   2. detailed simulation of only the barrierpoints with MRU-replay
  *      cache warmup,
  *   3. whole-program runtime reconstruction,
  * and compares the estimate against a full detailed reference run.
+ * Every stage is computed lazily on first demand and memoized, so
+ * the calls below never repeat work.
  *
- * Usage: quickstart [workload-name] [threads]
+ * Usage: quickstart [workload-name] [threads] [scale]
  */
 
 #include <cstdio>
@@ -23,21 +26,22 @@
 int
 main(int argc, char **argv)
 {
-    const std::string name = argc > 1 ? argv[1] : "npb-ft";
-    const unsigned threads =
+    bp::WorkloadSpec spec;
+    spec.name = argc > 1 ? argv[1] : "npb-ft";
+    spec.threads =
         argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 8;
+    spec.scale = argc > 3 ? std::atof(argv[3]) : 1.0;
 
-    bp::WorkloadParams params;
-    params.threads = threads;
-    const auto workload = bp::makeWorkload(name, params);
-    const bp::MachineConfig machine = bp::MachineConfig::withCores(threads);
+    bp::Experiment experiment(spec);
+    const bp::MachineConfig machine =
+        bp::MachineConfig::withCores(spec.threads);
 
     std::printf("workload        : %s (%u regions, %u threads)\n",
-                workload->name().c_str(), workload->regionCount(), threads);
+                spec.name.c_str(), experiment.workload().regionCount(),
+                spec.threads);
 
     // --- one-time analysis (the paper's left column of Figure 2) ---
-    const bp::BarrierPointAnalysis analysis =
-        bp::analyzeWorkload(*workload);
+    const bp::BarrierPointAnalysis &analysis = experiment.analysis();
     std::printf("barrierpoints   : %zu (%u significant), k chosen = %u\n",
                 analysis.points.size(), analysis.numSignificant(),
                 analysis.chosenK);
@@ -49,23 +53,22 @@ main(int argc, char **argv)
     }
 
     // --- detailed simulation of the barrierpoints only ---
-    const auto stats = bp::simulateBarrierPoints(
-        *workload, machine, analysis, bp::WarmupPolicy::MruReplay);
-    const bp::Estimate estimate = bp::reconstruct(analysis, stats);
+    const bp::SimulationResult &run = experiment.simulate(
+        machine, bp::WarmupPolicy::MruReplay);
 
     // --- reference: detailed simulation of the whole application ---
-    const bp::RunResult reference = bp::runReference(*workload, machine);
+    const bp::RunResult &reference = experiment.reference(machine);
 
     const double est_seconds = machine.secondsFromCycles(
-        estimate.totalCycles);
+        run.estimate.totalCycles);
     const double ref_seconds = machine.secondsFromCycles(
         reference.totalCycles());
     std::printf("\nestimated time  : %.6f s   (APKI %.3f)\n", est_seconds,
-                estimate.dramApki());
+                run.estimate.dramApki());
     std::printf("reference time  : %.6f s   (APKI %.3f)\n", ref_seconds,
                 reference.dramApki());
     std::printf("runtime error   : %.2f %%\n",
-                bp::percentAbsError(estimate.totalCycles,
+                bp::percentAbsError(run.estimate.totalCycles,
                                     reference.totalCycles()));
     std::printf("serial speedup  : %.1fx   parallel speedup: %.1fx   "
                 "resource reduction: %.1fx\n",

@@ -84,6 +84,34 @@ WorkloadSpec::describe(const Workload &workload)
     return spec;
 }
 
+uint64_t
+WorkloadSpec::hash() const
+{
+    Serializer s;
+    serialize(s);
+    return fnv1aHash(s.buffer().data(), s.buffer().size());
+}
+
+uint64_t
+optionsHash(const BarrierPointOptions &options)
+{
+    // threads is intentionally left out: results are bit-identical
+    // for any worker count (see the determinism contract).
+    Serializer s;
+    s.u32(static_cast<uint32_t>(options.signature.kind));
+    s.f64(options.signature.ldvWeightInvV);
+    s.boolean(options.signature.concatenateThreads);
+    s.u32(options.clustering.dim);
+    s.u32(options.clustering.maxK);
+    s.f64(options.clustering.coveragePct);
+    s.u32(options.clustering.restarts);
+    s.u32(options.clustering.maxIterations);
+    s.f64(options.clustering.bicThreshold);
+    s.u64(options.clustering.seed);
+    s.f64(options.significance);
+    return fnv1aHash(s.buffer().data(), s.buffer().size());
+}
+
 void
 WorkloadSpec::serialize(Serializer &s) const
 {
@@ -132,6 +160,7 @@ saveArtifact(const std::string &path, const AnalysisArtifact &artifact)
 {
     Serializer s;
     artifact.workload.serialize(s);
+    s.u64(artifact.optionsHash);
     artifact.analysis.serialize(s);
     writeArtifactFile(path, static_cast<uint32_t>(ArtifactKind::Analysis), s);
 }
@@ -143,6 +172,7 @@ loadAnalysisArtifact(const std::string &path)
         path, static_cast<uint32_t>(ArtifactKind::Analysis));
     AnalysisArtifact artifact;
     artifact.workload.deserialize(d);
+    artifact.optionsHash = d.u64();
     artifact.analysis.deserialize(d);
     d.expectEnd();
     return artifact;
@@ -187,6 +217,7 @@ saveArtifact(const std::string &path, const RunResultArtifact &artifact)
     artifact.workload.serialize(s);
     s.str(artifact.machine);
     s.str(artifact.flavor);
+    s.u64(artifact.optionsHash);
     artifact.result.serialize(s);
     writeArtifactFile(path, static_cast<uint32_t>(ArtifactKind::RunResult),
                       s);
@@ -201,6 +232,7 @@ loadRunResultArtifact(const std::string &path)
     artifact.workload.deserialize(d);
     artifact.machine = d.str();
     artifact.flavor = d.str();
+    artifact.optionsHash = d.u64();
     artifact.result.deserialize(d);
     d.expectEnd();
     return artifact;

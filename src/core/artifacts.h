@@ -62,9 +62,28 @@ struct WorkloadSpec
     /** Describe an existing workload instance. */
     static WorkloadSpec describe(const Workload &workload);
 
+    /**
+     * Content hash of the spec (FNV-1a over the serialized fields) —
+     * the cache key bp::Experiment derives artifact names from.
+     */
+    uint64_t hash() const;
+
     void serialize(Serializer &s) const;
     void deserialize(Deserializer &d);
 };
+
+/**
+ * Content hash of everything in @p options that changes the analysis
+ * *result*: signature and clustering configuration plus the
+ * significance threshold. `options.threads` is deliberately excluded
+ * — results are bit-identical for any worker count, so an artifact
+ * computed at one thread count is valid at every other.
+ *
+ * Embedded in AnalysisArtifact/RunResultArtifact so a stale artifact
+ * (same workload, different knobs) is detected and recomputed instead
+ * of silently reused.
+ */
+uint64_t optionsHash(const BarrierPointOptions &options);
 
 /** Output of `bp profile`: the one-time profiling pass. */
 struct ProfileArtifact
@@ -77,6 +96,7 @@ struct ProfileArtifact
 struct AnalysisArtifact
 {
     WorkloadSpec workload;
+    uint64_t optionsHash = 0;  ///< bp::optionsHash() of the knobs used
     BarrierPointAnalysis analysis;
 };
 
@@ -101,6 +121,8 @@ struct RunResultArtifact
     WorkloadSpec workload;
     std::string machine;  ///< MachineConfig name the stats came from
     std::string flavor;   ///< "reference", "barrierpoints-mru", ...
+    /** Analysis knobs the stats derive from; 0 for reference runs. */
+    uint64_t optionsHash = 0;
     RunResult result;
 };
 

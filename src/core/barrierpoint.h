@@ -2,21 +2,24 @@
  * @file
  * Umbrella header: the full public BarrierPoint API.
  *
- * Typical use:
+ * Typical use (the session facade, core/experiment.h):
  * @code
- *   auto wl = bp::makeWorkload("npb-ft", {.threads = 8});
- *   auto analysis = bp::analyzeWorkload(*wl);
+ *   bp::Experiment exp(bp::WorkloadSpec{.name = "npb-ft", .threads = 8});
  *   auto machine = bp::MachineConfig::cores8();
- *   auto stats = bp::simulateBarrierPoints(*wl, machine, analysis,
- *                                          bp::WarmupPolicy::MruReplay);
- *   auto estimate = bp::reconstruct(analysis, stats);
+ *   const auto &run = exp.simulate(machine);   // profile -> analyze ->
+ *                                              // warmup -> simulate
+ *   use(run.estimate);
  * @endcode
+ *
+ * The stateless building blocks (pipeline.h free functions) remain
+ * available for one-off stages and option sweeps.
  */
 
 #ifndef BP_CORE_BARRIERPOINT_H
 #define BP_CORE_BARRIERPOINT_H
 
 #include "src/core/artifacts.h"
+#include "src/core/experiment.h"
 #include "src/core/kmeans.h"
 #include "src/core/pipeline.h"
 #include "src/core/reconstruction.h"

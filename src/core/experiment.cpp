@@ -1,0 +1,640 @@
+#include "src/core/experiment.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/support/logging.h"
+#include "src/support/serialize.h"
+
+namespace bp {
+
+namespace {
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Workload names become file-name prefixes; keep them portable. */
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_';
+        if (!ok)
+            c = '-';
+    }
+    return out;
+}
+
+/**
+ * Save @p artifact with @p member lent to its @p field for the
+ * duration of the write — no copy of the (potentially large) stage
+ * data, and the memoized member is restored on every path, including
+ * a throwing save.
+ */
+template <typename Artifact, typename T>
+void
+saveLending(const std::string &path, Artifact &artifact, T &member,
+            T Artifact::*field)
+{
+    artifact.*field = std::move(member);
+    try {
+        saveArtifact(path, artifact);
+    } catch (...) {
+        member = std::move(artifact.*field);
+        throw;
+    }
+    member = std::move(artifact.*field);
+}
+
+} // namespace
+
+Experiment::Experiment(WorkloadSpec spec, Config config,
+                       ExecutionContext exec)
+    : owned_(spec.instantiate()), workload_(owned_.get()),
+      spec_(std::move(spec)), config_(std::move(config)),
+      exec_(std::move(exec)), optionsHash_(bp::optionsHash(config_.options)),
+      stem_(sanitizeName(spec_.name) + "-" + hex16(spec_.hash()))
+{}
+
+Experiment::Experiment(std::unique_ptr<Workload> workload, Config config,
+                       ExecutionContext exec)
+    : owned_(std::move(workload)), workload_(owned_.get()),
+      spec_(WorkloadSpec::describe(*workload_)),
+      config_(std::move(config)), exec_(std::move(exec)),
+      optionsHash_(bp::optionsHash(config_.options)),
+      stem_(sanitizeName(spec_.name) + "-" + hex16(spec_.hash()))
+{}
+
+Experiment::Experiment(const Workload &workload, Config config,
+                       ExecutionContext exec)
+    : workload_(&workload), spec_(WorkloadSpec::describe(workload)),
+      config_(std::move(config)), exec_(std::move(exec)),
+      optionsHash_(bp::optionsHash(config_.options)),
+      stem_(sanitizeName(spec_.name) + "-" + hex16(spec_.hash()))
+{}
+
+Experiment::SnapshotKey
+Experiment::snapshotKey(const MachineConfig &machine)
+{
+    return {mruCapacityLines(machine), mruPrivateLines(machine)};
+}
+
+std::string
+Experiment::machineKey(const MachineConfig &machine)
+{
+    return sanitizeName(machine.name) + "-" + hex16(configHash(machine));
+}
+
+void
+Experiment::requireMachineFits(const MachineConfig &machine) const
+{
+    const unsigned threads = workload_->threadCount();
+    if (machine.numCores < threads)
+        fatal("machine %s has %u cores but workload %s runs %u threads; "
+              "pick a machine with >= %u cores or re-instantiate the "
+              "workload at a narrower width",
+              machine.name.c_str(), machine.numCores, spec_.name.c_str(),
+              threads, threads);
+}
+
+std::string
+Experiment::artifactPath(const std::string &leaf) const
+{
+    if (config_.artifactDir.empty())
+        return {};
+    return (std::filesystem::path(config_.artifactDir) / leaf).string();
+}
+
+std::string
+Experiment::profilePath() const
+{
+    return artifactPath(stem_ + ".profile.bp");
+}
+
+std::string
+Experiment::analysisPath() const
+{
+    return artifactPath(stem_ + "-o" + hex16(optionsHash_) +
+                        ".analysis.bp");
+}
+
+std::string
+Experiment::snapshotPath(const SnapshotKey &key) const
+{
+    return artifactPath(stem_ + "-o" + hex16(optionsHash_) + "-c" +
+                        std::to_string(key.first) + "x" +
+                        std::to_string(key.second) + ".snapshots.bp");
+}
+
+std::string
+Experiment::resultPath(const MachineConfig &machine,
+                       WarmupPolicy policy) const
+{
+    return artifactPath(stem_ + "-o" + hex16(optionsHash_) + "-m" +
+                        machineKey(machine) + "-" +
+                        warmupPolicyName(policy) + ".result.bp");
+}
+
+std::string
+Experiment::referencePath(const MachineConfig &machine) const
+{
+    return artifactPath(stem_ + "-m" + machineKey(machine) +
+                        ".reference.bp");
+}
+
+void
+Experiment::ensureArtifactDir()
+{
+    if (artifactDirReady_ || config_.artifactDir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(config_.artifactDir, ec);
+    if (ec)
+        fatal("cannot create artifact directory '%s': %s",
+              config_.artifactDir.c_str(), ec.message().c_str());
+    artifactDirReady_ = true;
+}
+
+// ------------------------------------------------------------- profiles
+
+bool
+Experiment::tryLoadProfiles(const std::string &path)
+{
+    if (!fileExists(path))
+        return false;
+    try {
+        ProfileArtifact artifact = loadProfileArtifact(path);
+        if (artifact.workload != spec_) {
+            warn("profile artifact %s was produced for a different "
+                 "workload spec; recomputing",
+                 path.c_str());
+            return false;
+        }
+        if (artifact.profiles.size() != workload_->regionCount()) {
+            warn("profile artifact %s holds %zu regions but the workload "
+                 "has %u; recomputing",
+                 path.c_str(), artifact.profiles.size(),
+                 workload_->regionCount());
+            return false;
+        }
+        profiles_ = std::move(artifact.profiles);
+        return true;
+    } catch (const SerializeError &error) {
+        warn("profile artifact %s is unreadable (%s); recomputing",
+             path.c_str(), error.what());
+        return false;
+    }
+}
+
+const std::vector<RegionProfile> &
+Experiment::profiles()
+{
+    if (profiles_)
+        return *profiles_;
+    const std::string path = profilePath();
+    if (!path.empty() && tryLoadProfiles(path))
+        return *profiles_;
+
+    profiles_ = profileWorkload(*workload_, exec_);
+    if (!path.empty()) {
+        ensureArtifactDir();
+        ProfileArtifact artifact;
+        artifact.workload = spec_;
+        saveLending(path, artifact, *profiles_,
+                    &ProfileArtifact::profiles);
+    }
+    return *profiles_;
+}
+
+void
+Experiment::seedProfiles(std::vector<RegionProfile> profiles)
+{
+    if (profiles.size() != workload_->regionCount())
+        fatal("seeded profiles describe %zu regions but workload %s has "
+              "%u",
+              profiles.size(), spec_.name.c_str(),
+              workload_->regionCount());
+    profiles_ = std::move(profiles);
+    // Everything downstream was derived from the previous profiles.
+    analysis_.reset();
+    snapshots_.clear();
+    results_.clear();
+    seeded_ = true;
+}
+
+// ------------------------------------------------------------- analysis
+
+bool
+Experiment::tryLoadAnalysis(const std::string &path)
+{
+    if (!fileExists(path))
+        return false;
+    try {
+        AnalysisArtifact artifact = loadAnalysisArtifact(path);
+        if (artifact.workload != spec_) {
+            warn("analysis artifact %s was produced for a different "
+                 "workload spec; recomputing",
+                 path.c_str());
+            return false;
+        }
+        if (artifact.optionsHash != optionsHash_) {
+            warn("analysis artifact %s was produced with different "
+                 "analysis options; recomputing",
+                 path.c_str());
+            return false;
+        }
+        analysis_ = std::move(artifact.analysis);
+        return true;
+    } catch (const SerializeError &error) {
+        warn("analysis artifact %s is unreadable (%s); recomputing",
+             path.c_str(), error.what());
+        return false;
+    }
+}
+
+const BarrierPointAnalysis &
+Experiment::analysis()
+{
+    if (analysis_)
+        return *analysis_;
+    const std::string path = analysisPath();
+    if (!seeded_ && !path.empty() && tryLoadAnalysis(path))
+        return *analysis_;
+
+    analysis_ = analyzeProfiles(profiles(), config_.options, exec_);
+    if (!seeded_ && !path.empty()) {
+        ensureArtifactDir();
+        AnalysisArtifact artifact;
+        artifact.workload = spec_;
+        artifact.optionsHash = optionsHash_;
+        saveLending(path, artifact, *analysis_,
+                    &AnalysisArtifact::analysis);
+    }
+    return *analysis_;
+}
+
+void
+Experiment::seedAnalysis(BarrierPointAnalysis analysis)
+{
+    if (analysis.numRegions() != workload_->regionCount())
+        fatal("seeded analysis describes %u regions but workload %s has "
+              "%u",
+              analysis.numRegions(), spec_.name.c_str(),
+              workload_->regionCount());
+    analysis_ = std::move(analysis);
+    // Snapshots and results were derived from the previous analysis.
+    snapshots_.clear();
+    results_.clear();
+    seeded_ = true;
+}
+
+// ------------------------------------------------------------ snapshots
+
+bool
+Experiment::tryLoadSnapshots(const std::string &path,
+                             const SnapshotKey &key)
+{
+    if (!fileExists(path))
+        return false;
+    const std::vector<uint32_t> regions = analysis().pointRegions();
+    try {
+        SnapshotArtifact artifact = loadSnapshotArtifact(path);
+        if (artifact.workload != spec_ ||
+            artifact.capacityLines != key.first ||
+            artifact.privateLines != key.second ||
+            artifact.regions != regions ||
+            artifact.snapshots.size() != regions.size()) {
+            warn("snapshot artifact %s was captured for a different "
+                 "analysis or machine; recapturing",
+                 path.c_str());
+            return false;
+        }
+        snapshots_[key] = std::move(artifact.snapshots);
+        return true;
+    } catch (const SerializeError &error) {
+        warn("snapshot artifact %s is unreadable (%s); recapturing",
+             path.c_str(), error.what());
+        return false;
+    }
+}
+
+const MruSnapshotSet &
+Experiment::snapshots(const MachineConfig &machine)
+{
+    const SnapshotKey key = snapshotKey(machine);
+    auto it = snapshots_.find(key);
+    if (it != snapshots_.end())
+        return it->second;
+    const std::string path = snapshotPath(key);
+    if (!seeded_ && !path.empty() && tryLoadSnapshots(path, key))
+        return snapshots_.at(key);
+
+    const BarrierPointAnalysis &a = analysis();
+    MruSnapshotSet snapshots =
+        captureAnalysisSnapshots(*workload_, machine, a);
+    if (!seeded_ && !path.empty()) {
+        ensureArtifactDir();
+        SnapshotArtifact artifact;
+        artifact.workload = spec_;
+        artifact.capacityLines = key.first;
+        artifact.privateLines = key.second;
+        artifact.regions = a.pointRegions();
+        saveLending(path, artifact, snapshots,
+                    &SnapshotArtifact::snapshots);
+    }
+    return snapshots_[key] = std::move(snapshots);
+}
+
+bool
+Experiment::trySeedSnapshots(const MachineConfig &machine,
+                             const std::string &path)
+{
+    if (!tryLoadSnapshots(path, snapshotKey(machine)))
+        return false;
+    // Adopted external data: same contract as the other seeds — drop
+    // results derived from any previous snapshots and stop exchanging
+    // derivatives with the artifact cache.
+    results_.clear();
+    seeded_ = true;
+    return true;
+}
+
+void
+Experiment::seedSnapshots(const MachineConfig &machine,
+                          MruSnapshotSet snapshots)
+{
+    if (snapshots.size() != analysis().points.size())
+        fatal("seeded snapshot set holds %zu snapshots but the analysis "
+              "selects %zu barrierpoints",
+              snapshots.size(), analysis().points.size());
+    // Results simulated with a previously cached set for this
+    // capacity no longer describe what a fresh simulate() would do.
+    results_.clear();
+    snapshots_[snapshotKey(machine)] = std::move(snapshots);
+    seeded_ = true;
+}
+
+// -------------------------------------------------------------- exports
+
+void
+Experiment::exportProfiles(const std::string &path)
+{
+    profiles();
+    ProfileArtifact artifact;
+    artifact.workload = spec_;
+    saveLending(path, artifact, *profiles_, &ProfileArtifact::profiles);
+}
+
+void
+Experiment::exportAnalysis(const std::string &path)
+{
+    analysis();
+    AnalysisArtifact artifact;
+    artifact.workload = spec_;
+    artifact.optionsHash = optionsHash_;
+    saveLending(path, artifact, *analysis_, &AnalysisArtifact::analysis);
+}
+
+void
+Experiment::exportSnapshots(const MachineConfig &machine,
+                            const std::string &path)
+{
+    const SnapshotKey key = snapshotKey(machine);
+    snapshots(machine);
+    SnapshotArtifact artifact;
+    artifact.workload = spec_;
+    artifact.capacityLines = key.first;
+    artifact.privateLines = key.second;
+    artifact.regions = analysis().pointRegions();
+    saveLending(path, artifact, snapshots_.at(key),
+                &SnapshotArtifact::snapshots);
+}
+
+// ----------------------------------------------------------- simulation
+
+const SimulationResult &
+Experiment::storeResult(const ResultKey &key, const MachineConfig &machine,
+                        WarmupPolicy policy,
+                        std::vector<RegionStats> stats)
+{
+    SimulationResult result;
+    result.machine = machine.name;
+    result.policy = policy;
+    result.estimate = reconstruct(analysis(), stats);
+    result.stats = std::move(stats);
+
+    const std::string path = resultPath(machine, policy);
+    if (!seeded_ && !path.empty()) {
+        ensureArtifactDir();
+        RunResultArtifact artifact;
+        artifact.workload = spec_;
+        artifact.machine = machine.name;
+        artifact.flavor =
+            std::string("barrierpoints-") + warmupPolicyName(policy);
+        artifact.optionsHash = optionsHash_;
+        artifact.result.regions = result.stats;
+        saveArtifact(path, artifact);
+    }
+    return results_[key] = std::move(result);
+}
+
+bool
+Experiment::tryLoadResult(const std::string &path, const ResultKey &key,
+                          const MachineConfig &machine, WarmupPolicy policy)
+{
+    if (!fileExists(path))
+        return false;
+    const std::string flavor =
+        std::string("barrierpoints-") + warmupPolicyName(policy);
+    try {
+        RunResultArtifact artifact = loadRunResultArtifact(path);
+        if (artifact.workload != spec_ ||
+            artifact.optionsHash != optionsHash_ ||
+            artifact.machine != machine.name ||
+            artifact.flavor != flavor ||
+            artifact.result.regions.size() != analysis().points.size()) {
+            warn("result artifact %s was produced by a different "
+                 "experiment; re-simulating",
+                 path.c_str());
+            return false;
+        }
+        SimulationResult result;
+        result.machine = machine.name;
+        result.policy = policy;
+        result.stats = std::move(artifact.result.regions);
+        result.estimate = reconstruct(analysis(), result.stats);
+        results_[key] = std::move(result);
+        return true;
+    } catch (const SerializeError &error) {
+        warn("result artifact %s is unreadable (%s); re-simulating",
+             path.c_str(), error.what());
+        return false;
+    }
+}
+
+const SimulationResult &
+Experiment::simulate(const MachineConfig &machine, WarmupPolicy policy)
+{
+    requireMachineFits(machine);
+    const ResultKey key{machineKey(machine), static_cast<int>(policy)};
+    auto it = results_.find(key);
+    if (it != results_.end())
+        return it->second;
+    const std::string path = resultPath(machine, policy);
+    if (!seeded_ && !path.empty() &&
+        tryLoadResult(path, key, machine, policy))
+        return results_.at(key);
+
+    const BarrierPointAnalysis &a = analysis();
+    std::vector<RegionStats> stats;
+    if (policy == WarmupPolicy::MruReplay) {
+        stats = simulateBarrierPoints(*workload_, machine, a,
+                                      snapshots(machine), exec_);
+    } else {
+        stats = simulateBarrierPoints(*workload_, machine, a, policy,
+                                      exec_);
+    }
+    return storeResult(key, machine, policy, std::move(stats));
+}
+
+const Estimate &
+Experiment::estimate(const MachineConfig &machine, WarmupPolicy policy)
+{
+    return simulate(machine, policy).estimate;
+}
+
+std::vector<SimulationResult>
+Experiment::sweep(const std::vector<MachineConfig> &machines,
+                  WarmupPolicy policy)
+{
+    struct Pending
+    {
+        const MachineConfig *machine;
+        ResultKey key;
+        const MruSnapshotSet *snapshots = nullptr;
+    };
+    std::vector<Pending> pending;
+    for (const MachineConfig &machine : machines) {
+        requireMachineFits(machine);
+        const ResultKey key{machineKey(machine),
+                            static_cast<int>(policy)};
+        if (results_.count(key))
+            continue;
+        bool queued = false;
+        for (const Pending &p : pending)
+            queued = queued || p.key == key;
+        if (queued)
+            continue;
+        const std::string path = resultPath(machine, policy);
+        if (!seeded_ && !path.empty() &&
+            tryLoadResult(path, key, machine, policy))
+            continue;
+        pending.push_back({&machine, key, nullptr});
+    }
+
+    if (!pending.empty()) {
+        const BarrierPointAnalysis &a = analysis();
+        // Warmup capture is inherently serial; do it up front (one set
+        // per distinct capture capacity, shared across machines) so
+        // the fan-out below only reads.
+        if (policy == WarmupPolicy::MruReplay) {
+            for (Pending &p : pending)
+                p.snapshots = &snapshots(*p.machine);
+        }
+
+        // One flat (machine x barrierpoint) fan-out on the shared
+        // pool: every job runs the same simulateBarrierPoint() kernel
+        // as simulateBarrierPoints() and writes only its own slot, so
+        // results are bit-identical to per-machine simulate() calls
+        // while short per-machine tails overlap.
+        const size_t npoints = a.points.size();
+        std::vector<RegionStats> flat(pending.size() * npoints);
+        exec_.pool().parallelFor(
+            0, flat.size(), [&](uint64_t idx) {
+                const size_t mi = static_cast<size_t>(idx / npoints);
+                const size_t j = static_cast<size_t>(idx % npoints);
+                const Pending &p = pending[mi];
+                flat[idx] = simulateBarrierPoint(*workload_, *p.machine,
+                                                 a, j, p.snapshots);
+            });
+
+        for (size_t mi = 0; mi < pending.size(); ++mi) {
+            std::vector<RegionStats> stats(
+                std::make_move_iterator(flat.begin() + mi * npoints),
+                std::make_move_iterator(flat.begin() + (mi + 1) * npoints));
+            storeResult(pending[mi].key, *pending[mi].machine, policy,
+                        std::move(stats));
+        }
+    }
+
+    std::vector<SimulationResult> out;
+    out.reserve(machines.size());
+    for (const MachineConfig &machine : machines)
+        out.push_back(results_.at(
+            {machineKey(machine), static_cast<int>(policy)}));
+    return out;
+}
+
+// ------------------------------------------------------------ reference
+
+bool
+Experiment::tryLoadReference(const std::string &path,
+                             const std::string &machine_key,
+                             const MachineConfig &machine)
+{
+    if (!fileExists(path))
+        return false;
+    try {
+        RunResultArtifact artifact = loadRunResultArtifact(path);
+        if (artifact.workload != spec_ ||
+            artifact.machine != machine.name ||
+            artifact.flavor != "reference" ||
+            artifact.result.regions.size() != workload_->regionCount()) {
+            warn("reference artifact %s was produced by a different "
+                 "experiment; re-simulating",
+                 path.c_str());
+            return false;
+        }
+        references_[machine_key] = std::move(artifact.result);
+        return true;
+    } catch (const SerializeError &error) {
+        warn("reference artifact %s is unreadable (%s); re-simulating",
+             path.c_str(), error.what());
+        return false;
+    }
+}
+
+const RunResult &
+Experiment::reference(const MachineConfig &machine)
+{
+    requireMachineFits(machine);
+    const std::string machine_key = machineKey(machine);
+    auto it = references_.find(machine_key);
+    if (it != references_.end())
+        return it->second;
+    const std::string path = referencePath(machine);
+    if (!path.empty() && tryLoadReference(path, machine_key, machine))
+        return references_.at(machine_key);
+
+    RunResult result = runReference(*workload_, machine);
+    if (!path.empty()) {
+        ensureArtifactDir();
+        RunResultArtifact artifact;
+        artifact.workload = spec_;
+        artifact.machine = machine.name;
+        artifact.flavor = "reference";
+        artifact.result = result;
+        saveArtifact(path, artifact);
+    }
+    return references_[machine_key] = std::move(result);
+}
+
+} // namespace bp

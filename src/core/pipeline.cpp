@@ -11,16 +11,16 @@
 
 namespace bp {
 
-std::vector<RegionProfile>
-profileWorkload(const Workload &workload, unsigned threads)
+const char *
+warmupPolicyName(WarmupPolicy policy)
 {
-    ThreadPool pool(threads);
-    return profileWorkload(workload, pool);
+    return policy == WarmupPolicy::Cold ? "cold" : "mru";
 }
 
 std::vector<RegionProfile>
-profileWorkload(const Workload &workload, ThreadPool &pool)
+profileWorkload(const Workload &workload, const ExecutionContext &exec)
 {
+    ThreadPool &pool = exec.pool();
     const unsigned regions = workload.regionCount();
     RegionProfiler profiler(workload.threadCount());
     std::vector<RegionProfile> profiles;
@@ -80,18 +80,10 @@ profileWorkload(const Workload &workload, ThreadPool &pool)
 std::vector<std::vector<double>>
 projectProfiles(const std::vector<RegionProfile> &profiles,
                 const SignatureConfig &signature,
-                const ClusteringConfig &clustering, unsigned threads)
+                const ClusteringConfig &clustering,
+                const ExecutionContext &exec)
 {
-    ThreadPool pool(threads);
-    return projectProfiles(profiles, signature, clustering, pool);
-}
-
-std::vector<std::vector<double>>
-projectProfiles(const std::vector<RegionProfile> &profiles,
-                const SignatureConfig &signature,
-                const ClusteringConfig &clustering, ThreadPool &pool)
-{
-    return pool.parallelMap<std::vector<double>>(
+    return exec.pool().parallelMap<std::vector<double>>(
         profiles.size(), [&](size_t i) {
             return projectSignature(buildSignature(profiles[i], signature),
                                     clustering.dim, clustering.seed);
@@ -102,18 +94,19 @@ BarrierPointAnalysis
 analyzeProfiles(const std::vector<RegionProfile> &profiles,
                 const BarrierPointOptions &options)
 {
-    ThreadPool pool(options.threads);
-    return analyzeProfiles(profiles, options, pool);
+    return analyzeProfiles(profiles, options,
+                           ExecutionContext(options.threads));
 }
 
 BarrierPointAnalysis
 analyzeProfiles(const std::vector<RegionProfile> &profiles,
-                const BarrierPointOptions &options, ThreadPool &pool)
+                const BarrierPointOptions &options,
+                const ExecutionContext &exec)
 {
     BP_ASSERT(!profiles.empty(), "no profiles to analyze");
 
     const auto points = projectProfiles(profiles, options.signature,
-                                        options.clustering, pool);
+                                        options.clustering, exec);
 
     std::vector<uint64_t> instructions;
     std::vector<double> weights;
@@ -125,7 +118,7 @@ analyzeProfiles(const std::vector<RegionProfile> &profiles,
     }
 
     const ClusteringResult clustering =
-        clusterSignatures(points, weights, options.clustering, &pool);
+        clusterSignatures(points, weights, options.clustering, &exec.pool());
     return selectBarrierPoints(clustering, points, instructions,
                                options.significance);
 }
@@ -135,8 +128,15 @@ analyzeWorkload(const Workload &workload, const BarrierPointOptions &options)
 {
     // One pool shared by every stage: profiling, projection,
     // clustering.
-    ThreadPool pool(options.threads);
-    return analyzeProfiles(profileWorkload(workload, pool), options, pool);
+    return analyzeWorkload(workload, options,
+                           ExecutionContext(options.threads));
+}
+
+BarrierPointAnalysis
+analyzeWorkload(const Workload &workload, const BarrierPointOptions &options,
+                const ExecutionContext &exec)
+{
+    return analyzeProfiles(profileWorkload(workload, exec), options, exec);
 }
 
 RunResult
@@ -245,76 +245,69 @@ captureMruSnapshots(const Workload &workload,
     return snapshots;
 }
 
-std::vector<RegionStats>
-simulateBarrierPoints(const Workload &workload, const MachineConfig &machine,
-                      const BarrierPointAnalysis &analysis,
-                      WarmupPolicy policy, unsigned threads)
-{
-    ThreadPool pool(threads);
-    return simulateBarrierPoints(workload, machine, analysis, policy, pool);
-}
-
 MruSnapshotSet
 captureAnalysisSnapshots(const Workload &workload,
                          const MachineConfig &machine,
                          const BarrierPointAnalysis &analysis)
 {
-    std::vector<uint32_t> regions;
-    regions.reserve(analysis.points.size());
-    for (const auto &point : analysis.points)
-        regions.push_back(point.region);
-    return captureMruSnapshots(workload, regions,
+    return captureMruSnapshots(workload, analysis.pointRegions(),
                                mruCapacityLines(machine),
                                mruPrivateLines(machine));
+}
+
+RegionStats
+simulateBarrierPoint(const Workload &workload, const MachineConfig &machine,
+                     const BarrierPointAnalysis &analysis,
+                     size_t point_index, const MruSnapshotSet *snapshots)
+{
+    MultiCoreSim sim(machine);
+    const RegionTrace trace =
+        workload.generateRegion(analysis.points[point_index].region);
+    if (snapshots) {
+        sim.warmupReplay((*snapshots)[point_index]);
+        sim.trainPredictors(trace);
+    }
+    return sim.simulateRegion(trace);
 }
 
 std::vector<RegionStats>
 simulateBarrierPoints(const Workload &workload, const MachineConfig &machine,
                       const BarrierPointAnalysis &analysis,
-                      WarmupPolicy policy, ThreadPool &pool)
+                      WarmupPolicy policy, const ExecutionContext &exec)
 {
     if (policy == WarmupPolicy::MruReplay) {
         return simulateBarrierPoints(
             workload, machine, analysis,
-            captureAnalysisSnapshots(workload, machine, analysis), pool);
+            captureAnalysisSnapshots(workload, machine, analysis), exec);
     }
 
     // Every barrierpoint gets a fresh MultiCoreSim and its own trace,
     // so the per-point loop is embarrassingly parallel; stats land in
     // their analysis.points slot regardless of completion order.
-    return pool.parallelMap<RegionStats>(
+    return exec.pool().parallelMap<RegionStats>(
         analysis.points.size(), [&](size_t j) {
-            MultiCoreSim sim(machine);
-            return sim.simulateRegion(
-                workload.generateRegion(analysis.points[j].region));
+            return simulateBarrierPoint(workload, machine, analysis, j);
         });
 }
 
 std::vector<RegionStats>
 simulateBarrierPoints(const Workload &workload, const MachineConfig &machine,
                       const BarrierPointAnalysis &analysis,
-                      const MruSnapshotSet &snapshots, unsigned threads)
+                      const MruSnapshotSet &snapshots,
+                      const ExecutionContext &exec)
 {
-    ThreadPool pool(threads);
-    return simulateBarrierPoints(workload, machine, analysis, snapshots,
-                                 pool);
-}
-
-std::vector<RegionStats>
-simulateBarrierPoints(const Workload &workload, const MachineConfig &machine,
-                      const BarrierPointAnalysis &analysis,
-                      const MruSnapshotSet &snapshots, ThreadPool &pool)
-{
-    BP_ASSERT(snapshots.size() == analysis.points.size(),
-              "need one MRU snapshot per barrierpoint");
-    return pool.parallelMap<RegionStats>(
+    // A mismatched snapshot set is a chaining mistake (e.g. a snapshot
+    // artifact captured for a different analysis), not a library bug:
+    // reject it cleanly instead of indexing out of range below.
+    if (snapshots.size() != analysis.points.size())
+        fatal("have %zu MRU snapshots but the analysis selects %zu "
+              "barrierpoints; the snapshot set was captured for a "
+              "different analysis",
+              snapshots.size(), analysis.points.size());
+    return exec.pool().parallelMap<RegionStats>(
         analysis.points.size(), [&](size_t j) {
-            MultiCoreSim sim(machine);
-            const RegionTrace trace =
-                workload.generateRegion(analysis.points[j].region);
-            sim.warmupReplay(snapshots[j]);
-            sim.trainPredictors(trace);
-            return sim.simulateRegion(trace);
+            return simulateBarrierPoint(workload, machine, analysis, j,
+                                        &snapshots);
         });
 }
 

@@ -2,6 +2,15 @@
  * @file
  * End-to-end BarrierPoint pipeline (Figure 2 of the paper).
  *
+ * > **Prefer `bp::Experiment` (core/experiment.h).** The facade wraps
+ * > these stages in a lazy, memoizing session — profile once, derive
+ * > the analysis and MRU snapshots on demand, fan per-machine
+ * > simulations out on one shared pool, and persist/reload every
+ * > stage through core/artifacts.h. The free functions below remain
+ * > as the stateless building blocks (and for option sweeps over
+ * > pre-computed profiles), and `Experiment` produces bit-identical
+ * > results to calling them directly.
+ *
  * One-time, microarchitecture-independent costs:
  *   profileWorkload()  -> per-region BBV/LDV profiles
  *   analyzeProfiles()  -> signatures, clustering, barrierpoints
@@ -17,15 +26,16 @@
  *
  * Threading model: inter-barrier regions are independent units of
  * work (the paper's central observation), so every stage runs its
- * region-indexed loop on a support/thread_pool when `threads > 1`:
- * trace generation and per-thread profiling in profileWorkload(),
- * signature projection in projectProfiles(), the k sweep and
- * assignment step of clustering, and per-barrierpoint simulation in
- * simulateBarrierPoints(). Only MRU snapshot capture is inherently
- * serial (a streaming scan of the whole run). Determinism contract:
- * results are collected in index order and every task touches only
- * state owned by its index, so output is bit-identical to the serial
- * path for any thread count.
+ * region-indexed loop on the ExecutionContext's pool
+ * (support/execution_context.h — implicitly constructible from a
+ * thread count or a shared ThreadPool): trace generation and
+ * per-thread profiling in profileWorkload(), signature projection in
+ * projectProfiles(), the k sweep and assignment step of clustering,
+ * and per-barrierpoint simulation in simulateBarrierPoints(). Only
+ * MRU snapshot capture is inherently serial (a streaming scan of the
+ * whole run). Determinism contract: results are collected in index
+ * order and every task touches only state owned by its index, so
+ * output is bit-identical to the serial path for any thread count.
  */
 
 #ifndef BP_CORE_PIPELINE_H
@@ -38,11 +48,10 @@
 #include "src/core/signature.h"
 #include "src/profile/region_profiler.h"
 #include "src/sim/multicore_sim.h"
+#include "src/support/execution_context.h"
 #include "src/workloads/workload.h"
 
 namespace bp {
-
-class ThreadPool;
 
 /** All knobs of the one-time analysis. */
 struct BarrierPointOptions
@@ -56,44 +65,33 @@ struct BarrierPointOptions
 /**
  * Profile every region of @p workload, in execution order.
  *
- * @param threads worker count: trace generation runs ahead of the
- *                profiler via lookahead prefetch and per-thread
- *                profiling fans out, while the region-order
- *                reuse-distance state still advances serially.
- *                1 = serial, 0 = hardware.
+ * With a multi-executor @p exec, trace generation runs ahead of the
+ * profiler via lookahead prefetch and per-thread profiling fans out,
+ * while the region-order reuse-distance state still advances
+ * serially. Pass a thread count or a shared ThreadPool.
  */
 std::vector<RegionProfile> profileWorkload(const Workload &workload,
-                                           unsigned threads = 1);
-
-/** As above, on an existing pool (shared across pipeline stages). */
-std::vector<RegionProfile> profileWorkload(const Workload &workload,
-                                           ThreadPool &pool);
+                                           const ExecutionContext &exec = {});
 
 /** Build and project signatures for a set of region profiles. */
 std::vector<std::vector<double>> projectProfiles(
     const std::vector<RegionProfile> &profiles,
     const SignatureConfig &signature, const ClusteringConfig &clustering,
-    unsigned threads = 1);
-
-/** As above, on an existing pool. */
-std::vector<std::vector<double>> projectProfiles(
-    const std::vector<RegionProfile> &profiles,
-    const SignatureConfig &signature, const ClusteringConfig &clustering,
-    ThreadPool &pool);
+    const ExecutionContext &exec = {});
 
 /**
  * Run the full analysis on existing profiles (lets callers sweep
- * signature/clustering settings without re-profiling). Uses
+ * signature/clustering settings without re-profiling). Runs
  * options.threads workers.
  */
 BarrierPointAnalysis analyzeProfiles(
     const std::vector<RegionProfile> &profiles,
     const BarrierPointOptions &options = {});
 
-/** As above, on an existing pool (options.threads is ignored). */
+/** As above, on an existing context (options.threads is ignored). */
 BarrierPointAnalysis analyzeProfiles(
     const std::vector<RegionProfile> &profiles,
-    const BarrierPointOptions &options, ThreadPool &pool);
+    const BarrierPointOptions &options, const ExecutionContext &exec);
 
 /**
  * Convenience: profile + analyze in one call. One pool of
@@ -101,6 +99,11 @@ BarrierPointAnalysis analyzeProfiles(
  */
 BarrierPointAnalysis analyzeWorkload(const Workload &workload,
                                      const BarrierPointOptions &options = {});
+
+/** As above, on an existing context (options.threads is ignored). */
+BarrierPointAnalysis analyzeWorkload(const Workload &workload,
+                                     const BarrierPointOptions &options,
+                                     const ExecutionContext &exec);
 
 /** Detailed simulation of the complete application (the reference). */
 RunResult runReference(const Workload &workload,
@@ -111,6 +114,9 @@ enum class WarmupPolicy {
     Cold,       ///< no warmup: caches start empty
     MruReplay,  ///< replay each core's MRU lines (the paper's method)
 };
+
+/** @return "cold" or "mru" (stable CLI/artifact spelling). */
+const char *warmupPolicyName(WarmupPolicy policy);
 
 /** One MRU snapshot (per-core entry lists) per requested region. */
 using MruSnapshotSet = std::vector<std::vector<std::vector<MruEntry>>>;
@@ -150,11 +156,26 @@ MruSnapshotSet captureMruSnapshots(
  * Capture MRU snapshots at every barrierpoint of @p analysis, sized
  * for @p machine — exactly the warmup data the MruReplay policy
  * computes internally, exposed so it can be captured once, persisted,
- * and reused across simulations (see core/artifacts.h).
+ * and reused across simulations (see core/artifacts.h and the
+ * snapshot stage of core/experiment.h).
  */
 MruSnapshotSet captureAnalysisSnapshots(const Workload &workload,
                                         const MachineConfig &machine,
                                         const BarrierPointAnalysis &analysis);
+
+/**
+ * Detailed-simulate one barrierpoint of @p analysis on a fresh
+ * machine: the shared per-point kernel of both simulateBarrierPoints
+ * overloads and Experiment::sweep(), so every path produces
+ * bit-identical stats by construction. @p snapshots selects the
+ * warmup: nullptr starts cold; non-null replays
+ * (*snapshots)[point_index] and trains the branch predictors.
+ */
+RegionStats simulateBarrierPoint(const Workload &workload,
+                                 const MachineConfig &machine,
+                                 const BarrierPointAnalysis &analysis,
+                                 size_t point_index,
+                                 const MruSnapshotSet *snapshots = nullptr);
 
 /**
  * Simulate every barrierpoint in isolation on @p machine.
@@ -163,38 +184,28 @@ MruSnapshotSet captureAnalysisSnapshots(const Workload &workload,
  * the caches are first reconstructed from profiling-time MRU data.
  *
  * Because every barrierpoint runs on its own fresh MultiCoreSim, the
- * per-point loop is embarrassingly parallel; @p threads > 1 simulates
- * barrierpoints concurrently (snapshot capture stays serial) with
- * stats collected in analysis.points order.
+ * per-point loop is embarrassingly parallel; a multi-executor @p exec
+ * simulates barrierpoints concurrently (snapshot capture stays
+ * serial) with stats collected in analysis.points order.
  *
  * @return stats indexed like analysis.points
  */
 std::vector<RegionStats> simulateBarrierPoints(
     const Workload &workload, const MachineConfig &machine,
     const BarrierPointAnalysis &analysis, WarmupPolicy policy,
-    unsigned threads = 1);
-
-/** As above, on an existing pool. */
-std::vector<RegionStats> simulateBarrierPoints(
-    const Workload &workload, const MachineConfig &machine,
-    const BarrierPointAnalysis &analysis, WarmupPolicy policy,
-    ThreadPool &pool);
+    const ExecutionContext &exec = {});
 
 /**
  * MruReplay simulation with pre-captured snapshots (as produced by
  * captureAnalysisSnapshots(), possibly reloaded from disk), skipping
- * the capture pass. @p snapshots must be indexed like analysis.points.
+ * the capture pass. @p snapshots must be indexed like analysis.points;
+ * a size mismatch (a snapshot artifact from a different analysis) is
+ * a user error, rejected with fatal().
  */
 std::vector<RegionStats> simulateBarrierPoints(
     const Workload &workload, const MachineConfig &machine,
     const BarrierPointAnalysis &analysis, const MruSnapshotSet &snapshots,
-    unsigned threads = 1);
-
-/** As above, on an existing pool. */
-std::vector<RegionStats> simulateBarrierPoints(
-    const Workload &workload, const MachineConfig &machine,
-    const BarrierPointAnalysis &analysis, const MruSnapshotSet &snapshots,
-    ThreadPool &pool);
+    const ExecutionContext &exec = {});
 
 } // namespace bp
 

@@ -71,6 +71,16 @@ BarrierPointAnalysis::numRegions() const
     return static_cast<unsigned>(regionInstructions.size());
 }
 
+std::vector<uint32_t>
+BarrierPointAnalysis::pointRegions() const
+{
+    std::vector<uint32_t> regions;
+    regions.reserve(points.size());
+    for (const BarrierPoint &point : points)
+        regions.push_back(point.region);
+    return regions;
+}
+
 unsigned
 BarrierPointAnalysis::numSignificant() const
 {

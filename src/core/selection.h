@@ -52,6 +52,13 @@ struct BarrierPointAnalysis
     unsigned numSignificant() const;
 
     /**
+     * The barrierpoint region indices, in points order — the identity
+     * key of snapshot sets captured for this analysis (see
+     * core/artifacts.h SnapshotArtifact::regions).
+     */
+    std::vector<uint32_t> pointRegions() const;
+
+    /**
      * Simulation speedup running barrierpoints back to back versus
      * simulating every region — the reduction in total simulation
      * work (and hence machine resources for a fixed time budget).

@@ -1,6 +1,7 @@
 #include "src/sim/machine_config.h"
 
 #include "src/support/logging.h"
+#include "src/support/serialize.h"
 
 namespace bp {
 
@@ -23,27 +24,40 @@ MachineConfig::withCores(unsigned cores)
     return config;
 }
 
-MachineConfig
-MachineConfig::byName(const std::string &name)
+std::optional<MachineConfig>
+MachineConfig::tryByName(const std::string &name)
 {
     const std::string suffix = "-core";
     const size_t at = name.rfind(suffix);
     if (at == std::string::npos || at == 0 ||
         at + suffix.size() != name.size())
-        fatal("unknown machine '%s' (expected '<N>-core', N in [1, %u])",
-              name.c_str(), kMaxCores);
+        return std::nullopt;
     unsigned cores = 0;
     for (size_t i = 0; i < at; ++i) {
         const char c = name[i];
         if (c < '0' || c > '9' || cores > kMaxCores)
-            fatal("unknown machine '%s' (expected '<N>-core', N in [1, %u])",
-                  name.c_str(), kMaxCores);
+            return std::nullopt;
         cores = cores * 10 + static_cast<unsigned>(c - '0');
     }
     if (cores < 1 || cores > kMaxCores)
+        return std::nullopt;
+    return withCores(cores);
+}
+
+MachineConfig
+MachineConfig::byName(const std::string &name)
+{
+    std::optional<MachineConfig> config = tryByName(name);
+    if (!config)
         fatal("unknown machine '%s' (expected '<N>-core', N in [1, %u])",
               name.c_str(), kMaxCores);
-    return withCores(cores);
+    return *std::move(config);
+}
+
+std::vector<std::string>
+MachineConfig::knownNames()
+{
+    return {"8-core", "32-core", "64-core"};
 }
 
 MachineConfig
@@ -62,6 +76,39 @@ MachineConfig
 MachineConfig::cores64()
 {
     return withCores(64);
+}
+
+uint64_t
+configHash(const MachineConfig &config)
+{
+    const auto geometry = [](Serializer &s, const CacheGeometry &g) {
+        s.u64(g.sizeBytes);
+        s.u32(g.assoc);
+        s.u32(g.latency);
+    };
+    Serializer s;
+    s.u32(config.numCores);
+    s.f64(config.freqGHz);
+    s.u32(config.issueWidth);
+    s.u32(config.robSize);
+    s.u32(config.branchPenalty);
+    s.u32(config.mlpLimit);
+    s.f64(config.dependencyFraction);
+    s.f64(config.barrierBaseCycles);
+    s.f64(config.barrierPerCoreCycles);
+    s.u32(config.quantum);
+    s.u32(config.mem.numCores);
+    s.u32(config.mem.coresPerSocket);
+    geometry(s, config.mem.l1i);
+    geometry(s, config.mem.l1d);
+    geometry(s, config.mem.l2);
+    geometry(s, config.mem.l3);
+    s.f64(config.mem.dramLatency);
+    s.f64(config.mem.dramTransferCycles);
+    s.f64(config.mem.remoteCacheLatency);
+    s.f64(config.mem.dirtyForwardLatency);
+    s.f64(config.mem.upgradeLatency);
+    return fnv1aHash(s.buffer().data(), s.buffer().size());
 }
 
 } // namespace bp

@@ -6,7 +6,9 @@
 #ifndef BP_SIM_MACHINE_CONFIG_H
 #define BP_SIM_MACHINE_CONFIG_H
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "src/memsys/mem_system.h"
 
@@ -83,7 +85,27 @@ struct MachineConfig
      * (user error).
      */
     static MachineConfig byName(const std::string &name);
+
+    /** As byName(), but returns nullopt instead of exiting — for
+     *  callers (like the `bp` CLI) that own the error report. */
+    static std::optional<MachineConfig> tryByName(const std::string &name);
+
+    /**
+     * The named machine configurations (the paper's Table I machines
+     * plus the scaling-projection target) — what `bp --help` lists;
+     * any other "<N>-core" width in [1, kMaxCores] also resolves.
+     */
+    static std::vector<std::string> knownNames();
 };
+
+/**
+ * Content hash over every field of @p config (FNV-1a of the
+ * serialized parameters, name excluded). Two configs with equal
+ * hashes simulate identically, so bp::Experiment keys its per-machine
+ * caches on it — two differently-tuned configs sharing a name() never
+ * collide.
+ */
+uint64_t configHash(const MachineConfig &config);
 
 } // namespace bp
 

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ExecutionContext: one type for "how parallel should this run be".
+ *
+ * Every pipeline stage used to come in two flavours — `unsigned
+ * threads` (make me a pool) and `ThreadPool &` (share this pool) —
+ * doubling the API surface. ExecutionContext collapses the pair: it
+ * is implicitly constructible from either a thread count (owning a
+ * pool of that size) or an existing pool (borrowing it), so one
+ * `const ExecutionContext &` parameter accepts both spellings at
+ * existing call sites.
+ *
+ * Copies share the underlying pool (it is reference-counted when
+ * owned, borrowed when not), so an ExecutionContext can be passed
+ * around by value and every stage of a session fans out on the same
+ * workers — the model bp::Experiment (core/experiment.h) builds on.
+ */
+
+#ifndef BP_SUPPORT_EXECUTION_CONTEXT_H
+#define BP_SUPPORT_EXECUTION_CONTEXT_H
+
+#include <memory>
+
+#include "src/support/thread_pool.h"
+
+namespace bp {
+
+class ExecutionContext
+{
+  public:
+    /**
+     * Own a pool of @p threads executors (1 = serial, 0 = hardware
+     * concurrency). Implicit on purpose: call sites written against
+     * the old `unsigned threads` parameters keep compiling.
+     */
+    ExecutionContext(unsigned threads = 1)
+        : pool_(std::make_shared<ThreadPool>(threads))
+    {}
+
+    /**
+     * Borrow @p pool without taking ownership; the pool must outlive
+     * every copy of this context. Implicit on purpose: call sites
+     * written against the old `ThreadPool &` overloads keep compiling.
+     */
+    ExecutionContext(ThreadPool &pool)
+        : pool_(&pool, [](ThreadPool *) {})
+    {}
+
+    /** The pool every stage run under this context fans out on. */
+    ThreadPool &pool() const { return *pool_; }
+
+    /** Total executors (workers + the participating caller). */
+    unsigned threadCount() const { return pool_->threadCount(); }
+
+  private:
+    std::shared_ptr<ThreadPool> pool_;
+};
+
+} // namespace bp
+
+#endif // BP_SUPPORT_EXECUTION_CONTEXT_H

@@ -225,6 +225,16 @@ fnv1aHash(const uint8_t *data, size_t size)
     return hash;
 }
 
+bool
+fileExists(const std::string &path)
+{
+    std::FILE *probe = std::fopen(path.c_str(), "rb");
+    if (!probe)
+        return false;
+    std::fclose(probe);
+    return true;
+}
+
 void
 writeArtifactFile(const std::string &path, uint32_t kind,
                   const Serializer &payload)

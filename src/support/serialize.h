@@ -30,7 +30,7 @@ class SerializeError : public std::runtime_error
 };
 
 /** On-disk artifact format version; bump on any layout change. */
-constexpr uint32_t kArtifactVersion = 1;
+constexpr uint32_t kArtifactVersion = 2;
 
 /** Append-only little-endian byte sink. */
 class Serializer
@@ -97,6 +97,9 @@ class Deserializer
 
 /** 64-bit FNV-1a hash (the artifact payload checksum). */
 uint64_t fnv1aHash(const uint8_t *data, size_t size);
+
+/** @return true when @p path names a readable file (artifact probe). */
+bool fileExists(const std::string &path);
 
 /**
  * Frame @p payload with the artifact header (magic, version, kind,

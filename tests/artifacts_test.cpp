@@ -98,6 +98,7 @@ TEST(ArtifactsTest, AnalysisArtifactRoundTrip)
 
     AnalysisArtifact artifact;
     artifact.workload = spec;
+    artifact.optionsHash = optionsHash(BarrierPointOptions{});
     artifact.analysis = analyzeWorkload(*workload);
 
     TempFile file("artifact_analysis.bp");
@@ -105,6 +106,7 @@ TEST(ArtifactsTest, AnalysisArtifactRoundTrip)
     const AnalysisArtifact loaded = loadAnalysisArtifact(file.path());
 
     EXPECT_EQ(loaded.workload, spec);
+    EXPECT_EQ(loaded.optionsHash, artifact.optionsHash);
     const BarrierPointAnalysis &a = artifact.analysis;
     const BarrierPointAnalysis &b = loaded.analysis;
     ASSERT_EQ(a.points.size(), b.points.size());

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the `bp` CLI's invocation surface: --help output lists
+ * the registered workload and machine names, and exit codes separate
+ * usage errors (2) from runtime failures (1) and success (0).
+ *
+ * The binary path is injected by CMake as BP_CLI_PATH; these tests
+ * only exercise cheap paths (help and error handling), not full
+ * pipeline runs — those live in the CI artifact-flow jobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult
+{
+    int exitCode = -1;
+    std::string output;  ///< stdout + stderr, interleaved
+};
+
+/** Run the CLI with @p args, capturing both output streams. */
+RunResult
+runCli(const std::string &args)
+{
+    const std::string command =
+        std::string(BP_CLI_PATH) + " " + args + " 2>&1";
+    RunResult result;
+    std::FILE *pipe = popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << command;
+    if (!pipe)
+        return result;
+    std::array<char, 4096> buffer;
+    size_t n;
+    while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0)
+        result.output.append(buffer.data(), n);
+    const int status = pclose(pipe);
+    result.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+TEST(CliTest, HelpExitsZeroAndListsWorkloadsAndMachines)
+{
+    for (const std::string invocation : {"--help", "-h", "help"}) {
+        const RunResult result = runCli(invocation);
+        EXPECT_EQ(result.exitCode, 0) << invocation;
+        EXPECT_NE(result.output.find("usage: bp"), std::string::npos);
+        // Registered workload names...
+        EXPECT_NE(result.output.find("npb-cg"), std::string::npos);
+        EXPECT_NE(result.output.find("parsec-bodytrack"),
+                  std::string::npos);
+        // ...and machine names, including the generic pattern.
+        EXPECT_NE(result.output.find("8-core"), std::string::npos);
+        EXPECT_NE(result.output.find("64-core"), std::string::npos);
+        EXPECT_NE(result.output.find("<N>-core"), std::string::npos);
+    }
+}
+
+TEST(CliTest, SubcommandHelpPrintsUsage)
+{
+    const RunResult result = runCli("profile --help");
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("usage: bp"), std::string::npos);
+}
+
+TEST(CliTest, HelpWhereAValueBelongsStaysAUsageError)
+{
+    // `--help` in a value position is a malformed command line, not a
+    // help request — scripts must still see the failure.
+    const RunResult result =
+        runCli("profile --workload --help -o /dev/null");
+    EXPECT_EQ(result.exitCode, 2);
+}
+
+TEST(CliTest, NoArgumentsIsAUsageError)
+{
+    const RunResult result = runCli("");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("usage: bp"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandIsAUsageError)
+{
+    const RunResult result = runCli("frobnicate");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, UnknownOptionIsAUsageError)
+{
+    const RunResult result =
+        runCli("profile --workload npb-is --bogus 1 -o /dev/null");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("unknown option"), std::string::npos);
+}
+
+TEST(CliTest, UnknownWorkloadIsAUsageErrorListingNames)
+{
+    const RunResult result =
+        runCli("profile --workload no-such-benchmark -o /dev/null");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("unknown workload"), std::string::npos);
+    // The error itself names the valid choices.
+    EXPECT_NE(result.output.find("npb-cg"), std::string::npos);
+    EXPECT_NE(result.output.find("npb-ft"), std::string::npos);
+}
+
+TEST(CliTest, UnknownMachineIsAUsageErrorListingNames)
+{
+    const RunResult result = runCli(
+        "simulate --analysis missing.bp --machine warp-drive -o out.bp");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("unknown machine"), std::string::npos);
+    EXPECT_NE(result.output.find("32-core"), std::string::npos);
+    EXPECT_NE(result.output.find("<N>-core"), std::string::npos);
+}
+
+TEST(CliTest, BadOptionValueIsAUsageError)
+{
+    const RunResult threads =
+        runCli("profile --workload npb-is --threads lots -o /dev/null");
+    EXPECT_EQ(threads.exitCode, 2);
+    EXPECT_NE(threads.output.find("wants an integer"), std::string::npos);
+
+    const RunResult range =
+        runCli("profile --workload npb-is --threads 65 -o /dev/null");
+    EXPECT_EQ(range.exitCode, 2);
+
+    const RunResult missing = runCli("analyze --profile");
+    EXPECT_EQ(missing.exitCode, 2);
+    EXPECT_NE(missing.output.find("missing its value"),
+              std::string::npos);
+
+    // Garbage --jobs must be a usage error, not a thread-pool panic.
+    const RunResult jobs =
+        runCli("profile --workload npb-is --jobs -1 -o /dev/null");
+    EXPECT_EQ(jobs.exitCode, 2);
+    EXPECT_NE(jobs.output.find("--jobs"), std::string::npos);
+}
+
+TEST(CliTest, RuntimeFailuresExitOne)
+{
+    // A missing artifact is a runtime failure, not a usage error.
+    const RunResult missing = runCli(
+        "analyze --profile /nonexistent/x.profile.bp -o /dev/null");
+    EXPECT_EQ(missing.exitCode, 1);
+    EXPECT_NE(missing.output.find("fatal"), std::string::npos);
+
+    const RunResult report = runCli(
+        "report --analysis /nonexistent/x.analysis.bp --result y.bp");
+    EXPECT_EQ(report.exitCode, 1);
+}
+
+} // namespace

@@ -288,5 +288,19 @@ TEST(PipelineTest, SpeedupsAreConsistent)
     EXPECT_GE(analysis.resourceReduction(), 1.0);
 }
 
+TEST(PipelineDeathTest, MismatchedSnapshotCountIsCleanlyFatal)
+{
+    // A snapshot set sized for a different analysis (e.g. a stale
+    // artifact) must be rejected as a user error — fatal(), exit 1 —
+    // not run into out-of-range indexing.
+    const auto wl = smallWorkload(2, 16, 3);
+    const auto machine = MachineConfig::withCores(2);
+    const auto analysis = analyzeWorkload(*wl);
+    MruSnapshotSet wrong(analysis.points.size() + 2);
+    EXPECT_EXIT(simulateBarrierPoints(*wl, machine, analysis, wrong),
+                ::testing::ExitedWithCode(1),
+                "captured for a different analysis");
+}
+
 } // namespace
 } // namespace bp

@@ -2,12 +2,15 @@
  * @file
  * `bp` — command-line driver for the BarrierPoint pipeline.
  *
- * Each subcommand runs one pipeline stage and chains through on-disk
- * artifacts (core/artifacts.h), making the paper's cost split
- * operational across processes: `profile` and `analyze` are paid once
- * per workload, then any number of `simulate` jobs — one per machine
- * configuration, launched in parallel if desired — reuse the same
- * analysis artifact.
+ * Every subcommand is a thin shell over bp::Experiment
+ * (core/experiment.h): stages are hydrated from on-disk artifacts
+ * (core/artifacts.h), computed on demand, and persisted for the next
+ * process, making the paper's cost split operational across
+ * processes: `profile` and `analyze` are paid once per workload, then
+ * any number of `simulate` jobs — one per machine configuration —
+ * reuse the same analysis artifact. `sweep` runs the whole
+ * profile-once/simulate-many session in one go against a shared
+ * artifact directory.
  *
  *   bp profile   --workload npb-cg --threads 8 -o cg.profile.bp
  *   bp analyze   --profile cg.profile.bp -o cg.analysis.bp
@@ -17,15 +20,21 @@
  *                -o cg.8c.reference.bp
  *   bp report    --analysis cg.analysis.bp --result cg.8c.result.bp \
  *                [--reference cg.8c.reference.bp]
+ *   bp sweep     --workload npb-cg --machines 8-core,16-core,32-core \
+ *                --artifacts cg.artifacts
+ *
+ * Exit codes: 0 success, 1 runtime failure (unreadable or mismatched
+ * artifacts, simulation errors), 2 usage error (unknown command or
+ * option, bad value, unknown workload/machine name).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "src/core/artifacts.h"
 #include "src/core/barrierpoint.h"
 #include "src/support/coremask.h"
 #include "src/support/logging.h"
@@ -35,27 +44,60 @@
 namespace bp {
 namespace {
 
-const char *kUsage =
-    "usage: bp <command> [options]\n"
-    "\n"
-    "commands:\n"
-    "  profile    profile a workload's regions (one-time cost)\n"
-    "               --workload NAME [--threads N] [--scale S] [--seed X]\n"
-    "               [--jobs J] -o FILE\n"
-    "  analyze    select barrierpoints from a profile artifact\n"
-    "               --profile FILE [--signature bbv|reuse_dist|combine]\n"
-    "               [--dim D] [--max-k K] [--significance F] [--jobs J]\n"
-    "               -o FILE\n"
-    "  simulate   detailed-simulate only the barrierpoints\n"
-    "               --analysis FILE --machine NAME [--warmup mru|cold]\n"
-    "               [--snapshots FILE] [--jobs J] -o FILE\n"
-    "  reference  detailed-simulate every region (the costly baseline)\n"
-    "               --analysis FILE --machine NAME -o FILE\n"
-    "  report     reconstruct whole-program metrics from artifacts\n"
-    "               --analysis FILE --result FILE [--reference FILE]\n"
-    "\n"
-    "Machine names: \"<N>-core\" with N in [1, 64], e.g. 8-core, 64-core.\n"
-    "Workload names: ";
+/** Bad invocation (exit 2) — distinct from runtime failures (exit 1). */
+class UsageError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+std::string
+joined(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &name : names) {
+        if (!out.empty())
+            out += ", ";
+        out += name;
+    }
+    return out;
+}
+
+std::string
+usageText()
+{
+    std::string text =
+        "usage: bp <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  profile    profile a workload's regions (one-time cost)\n"
+        "               --workload NAME [--threads N] [--scale S] [--seed X]\n"
+        "               [--jobs J] -o FILE\n"
+        "  analyze    select barrierpoints from a profile artifact\n"
+        "               --profile FILE [--signature bbv|reuse_dist|combine]\n"
+        "               [--dim D] [--max-k K] [--significance F] [--jobs J]\n"
+        "               -o FILE\n"
+        "  simulate   detailed-simulate only the barrierpoints\n"
+        "               --analysis FILE --machine NAME [--warmup mru|cold]\n"
+        "               [--snapshots FILE] [--jobs J] -o FILE\n"
+        "  reference  detailed-simulate every region (the costly baseline)\n"
+        "               --analysis FILE --machine NAME -o FILE\n"
+        "  report     reconstruct whole-program metrics from artifacts\n"
+        "               --analysis FILE --result FILE [--reference FILE]\n"
+        "  sweep      profile once, simulate many machines, in one session\n"
+        "               --workload NAME [--threads N] [--scale S] [--seed X]\n"
+        "               [--machines NAME,NAME,...] [--warmup mru|cold]\n"
+        "               [--signature bbv|reuse_dist|combine] [--dim D]\n"
+        "               [--max-k K] [--significance F] [--jobs J]\n"
+        "               [--artifacts DIR] [--reference yes]\n"
+        "  help       print this message (also: bp --help)\n"
+        "\n";
+    text += "workloads: " + joined(workloadNames()) + "\n";
+    text += "machines:  " + joined(MachineConfig::knownNames()) +
+            ", or any \"<N>-core\" with N in [1, " +
+            std::to_string(kMaxCores) + "]\n";
+    return text;
+}
 
 /** Tiny --key value argument list with required/optional lookups. */
 class Args
@@ -66,10 +108,11 @@ class Args
         for (int i = 0; i < argc; ++i) {
             const std::string key = argv[i];
             if (key.rfind("--", 0) != 0 && key != "-o")
-                fatal("unexpected argument '%s' (options are --key value)",
-                      key.c_str());
+                throw UsageError("unexpected argument '" + key +
+                                 "' (options are --key value)");
             if (i + 1 >= argc)
-                fatal("option '%s' is missing its value", key.c_str());
+                throw UsageError("option '" + key +
+                                 "' is missing its value");
             keys_.push_back(key == "-o" ? "--output" : key);
             values_.push_back(argv[++i]);
             used_.push_back(false);
@@ -93,7 +136,7 @@ class Args
     {
         const std::string *value = find(key);
         if (!value)
-            fatal("missing required option '%s'", key.c_str());
+            throw UsageError("missing required option '" + key + "'");
         return *value;
     }
 
@@ -114,8 +157,8 @@ class Args
         const unsigned long long parsed =
             std::strtoull(value->c_str(), &end, 10);
         if (end == value->c_str() || *end != '\0')
-            fatal("option '%s' wants an integer, got '%s'", key.c_str(),
-                  value->c_str());
+            throw UsageError("option '" + key + "' wants an integer, got '" +
+                             *value + "'");
         return parsed;
     }
 
@@ -128,9 +171,23 @@ class Args
         char *end = nullptr;
         const double parsed = std::strtod(value->c_str(), &end);
         if (end == value->c_str() || *end != '\0')
-            fatal("option '%s' wants a number, got '%s'", key.c_str(),
-                  value->c_str());
+            throw UsageError("option '" + key + "' wants a number, got '" +
+                             *value + "'");
         return parsed;
+    }
+
+    bool
+    flag(const std::string &key) const
+    {
+        const std::string *value = find(key);
+        if (!value)
+            return false;
+        if (*value == "yes" || *value == "true" || *value == "1")
+            return true;
+        if (*value == "no" || *value == "false" || *value == "0")
+            return false;
+        throw UsageError("option '" + key + "' wants yes or no, got '" +
+                         *value + "'");
     }
 
     /** Reject typo'd options that nothing consumed. */
@@ -139,7 +196,7 @@ class Args
     {
         for (size_t i = 0; i < keys_.size(); ++i) {
             if (!used_[i])
-                fatal("unknown option '%s'", keys_[i].c_str());
+                throw UsageError("unknown option '" + keys_[i] + "'");
         }
     }
 
@@ -157,37 +214,107 @@ parseSignatureKind(const std::string &name)
         if (name == signatureKindName(kind))
             return kind;
     }
-    fatal("unknown signature kind '%s' (bbv, reuse_dist, combine)",
-          name.c_str());
+    throw UsageError("unknown signature kind '" + name +
+                     "' (bbv, reuse_dist, combine)");
+}
+
+WarmupPolicy
+parseWarmupPolicy(const std::string &name)
+{
+    if (name == "mru")
+        return WarmupPolicy::MruReplay;
+    if (name == "cold")
+        return WarmupPolicy::Cold;
+    throw UsageError("unknown warmup policy '" + name + "' (mru, cold)");
+}
+
+/** Registry lookup that lists the valid names on a miss. */
+void
+checkWorkloadName(const std::string &name)
+{
+    for (const std::string &known : workloadNames()) {
+        if (name == known)
+            return;
+    }
+    throw UsageError("unknown workload '" + name +
+                     "' (workloads: " + joined(workloadNames()) + ")");
+}
+
+/** Machine lookup that lists the valid names on a miss. */
+MachineConfig
+machineByName(const std::string &name)
+{
+    std::optional<MachineConfig> machine = MachineConfig::tryByName(name);
+    if (!machine)
+        throw UsageError(
+            "unknown machine '" + name +
+            "' (machines: " + joined(MachineConfig::knownNames()) +
+            ", or any \"<N>-core\" with N in [1, " +
+            std::to_string(kMaxCores) + "])");
+    return *std::move(machine);
+}
+
+WorkloadSpec
+workloadSpecFromArgs(const Args &args)
+{
+    WorkloadSpec spec;
+    spec.name = args.required("--workload");
+    spec.threads = static_cast<unsigned>(args.integer("--threads", 8));
+    spec.scale = args.real("--scale", 1.0);
+    spec.seed = args.integer("--seed", 12345);
+    checkWorkloadName(spec.name);
+    if (spec.threads < 1 || spec.threads > kMaxCores)
+        throw UsageError("--threads must be in [1, " +
+                         std::to_string(kMaxCores) + "], got " +
+                         std::to_string(spec.threads));
+    if (spec.scale <= 0.0)
+        throw UsageError("--scale must be positive");
+    return spec;
+}
+
+/** Worker count for the ExecutionContext; ThreadPool caps at 1024. */
+unsigned
+jobsFromArgs(const Args &args)
+{
+    const uint64_t jobs = args.integer("--jobs", 1);
+    if (jobs > 1024)
+        throw UsageError("--jobs must be in [0, 1024] (0 = hardware "
+                         "concurrency), got " +
+                         std::to_string(jobs));
+    return static_cast<unsigned>(jobs);
+}
+
+BarrierPointOptions
+analysisOptionsFromArgs(const Args &args)
+{
+    BarrierPointOptions options;
+    options.signature.kind =
+        parseSignatureKind(args.optional("--signature", "combine"));
+    options.clustering.dim =
+        static_cast<unsigned>(args.integer("--dim", options.clustering.dim));
+    options.clustering.maxK = static_cast<unsigned>(
+        args.integer("--max-k", options.clustering.maxK));
+    options.significance =
+        args.real("--significance", options.significance);
+    return options;
 }
 
 int
 cmdProfile(const Args &args)
 {
-    ProfileArtifact artifact;
-    artifact.workload.name = args.required("--workload");
-    artifact.workload.threads =
-        static_cast<unsigned>(args.integer("--threads", 8));
-    artifact.workload.scale = args.real("--scale", 1.0);
-    artifact.workload.seed = args.integer("--seed", 12345);
-    const unsigned jobs = static_cast<unsigned>(args.integer("--jobs", 1));
+    const WorkloadSpec spec = workloadSpecFromArgs(args);
+    const unsigned jobs = jobsFromArgs(args);
     const std::string out = args.required("--output");
     args.finish();
-    if (artifact.workload.threads < 1 ||
-        artifact.workload.threads > kMaxCores)
-        fatal("--threads must be in [1, %u], got %u", kMaxCores,
-              artifact.workload.threads);
-    if (artifact.workload.scale <= 0.0)
-        fatal("--scale must be positive");
 
-    const auto workload = artifact.workload.instantiate();
-    artifact.profiles = profileWorkload(*workload, jobs);
-    saveArtifact(out, artifact);
+    Experiment experiment(spec, {}, ExecutionContext(jobs));
+    experiment.exportProfiles(out);
+    const auto &profiles = experiment.profiles();
     std::printf("profiled %s: %zu regions, %llu instructions -> %s\n",
-                artifact.workload.name.c_str(), artifact.profiles.size(),
+                spec.name.c_str(), profiles.size(),
                 static_cast<unsigned long long>([&] {
                     uint64_t total = 0;
-                    for (const auto &profile : artifact.profiles)
+                    for (const auto &profile : profiles)
                         total += profile.instructions();
                     return total;
                 }()),
@@ -200,28 +327,20 @@ cmdAnalyze(const Args &args)
 {
     const std::string in = args.required("--profile");
     const std::string out = args.required("--output");
-    BarrierPointOptions options;
-    options.signature.kind =
-        parseSignatureKind(args.optional("--signature", "combine"));
-    options.clustering.dim =
-        static_cast<unsigned>(args.integer("--dim", options.clustering.dim));
-    options.clustering.maxK = static_cast<unsigned>(
-        args.integer("--max-k", options.clustering.maxK));
-    options.significance =
-        args.real("--significance", options.significance);
-    options.threads = static_cast<unsigned>(args.integer("--jobs", 1));
+    Experiment::Config config;
+    config.options = analysisOptionsFromArgs(args);
+    const unsigned jobs = jobsFromArgs(args);
     args.finish();
 
-    const ProfileArtifact profile = loadProfileArtifact(in);
-    AnalysisArtifact artifact;
-    artifact.workload = profile.workload;
-    artifact.analysis = analyzeProfiles(profile.profiles, options);
-    saveArtifact(out, artifact);
+    ProfileArtifact profile = loadProfileArtifact(in);
+    Experiment experiment(profile.workload, config, ExecutionContext(jobs));
+    experiment.seedProfiles(std::move(profile.profiles));
+    experiment.exportAnalysis(out);
 
-    const BarrierPointAnalysis &analysis = artifact.analysis;
+    const BarrierPointAnalysis &analysis = experiment.analysis();
     std::printf("%s: %zu barrierpoints (%u significant) for %u regions "
                 "-> %s\n",
-                artifact.workload.name.c_str(), analysis.points.size(),
+                profile.workload.name.c_str(), analysis.points.size(),
                 analysis.numSignificant(), analysis.numRegions(),
                 out.c_str());
     std::printf("serial speedup %.1fx, parallel %.1fx, resources %.1fx\n",
@@ -230,119 +349,56 @@ cmdAnalyze(const Args &args)
     return 0;
 }
 
-/**
- * The CLI simulates the workload at the thread count it was profiled
- * with, so the target machine needs at least that many cores; reject
- * a narrower machine with an actionable error instead of tripping
- * the simulator's internal assertion.
- */
-void
-checkMachineFitsWorkload(const MachineConfig &machine,
-                         const WorkloadSpec &workload)
-{
-    if (machine.numCores < workload.threads)
-        fatal("machine %s has %u cores but the analysis was profiled "
-              "with %u threads; pick a machine with >= %u cores or "
-              "re-profile at a narrower width",
-              machine.name.c_str(), machine.numCores, workload.threads,
-              workload.threads);
-}
-
-/**
- * MRU snapshots for @p analysis, going through the @p path cache when
- * one is named: reloaded when present and matching, captured and
- * saved otherwise. An empty path skips persistence entirely.
- */
-MruSnapshotSet
-obtainSnapshots(const std::string &path, const AnalysisArtifact &artifact,
-                const Workload &workload, const MachineConfig &machine)
-{
-    SnapshotArtifact wanted;
-    wanted.workload = artifact.workload;
-    wanted.capacityLines = mruCapacityLines(machine);
-    wanted.privateLines = mruPrivateLines(machine);
-    wanted.regions.reserve(artifact.analysis.points.size());
-    for (const BarrierPoint &point : artifact.analysis.points)
-        wanted.regions.push_back(point.region);
-
-    if (!path.empty()) {
-        std::FILE *probe = std::fopen(path.c_str(), "rb");
-        if (probe) {
-            std::fclose(probe);
-            try {
-                SnapshotArtifact cached = loadSnapshotArtifact(path);
-                if (cached.workload == wanted.workload &&
-                    cached.capacityLines == wanted.capacityLines &&
-                    cached.privateLines == wanted.privateLines &&
-                    cached.regions == wanted.regions &&
-                    cached.snapshots.size() == cached.regions.size()) {
-                    inform("reusing MRU snapshots from %s", path.c_str());
-                    return std::move(cached.snapshots);
-                }
-                warn("snapshot artifact %s was captured for a different "
-                     "analysis or machine; recapturing",
-                     path.c_str());
-            } catch (const SerializeError &error) {
-                warn("snapshot artifact %s is unreadable (%s); "
-                     "recapturing",
-                     path.c_str(), error.what());
-            }
-        }
-    }
-
-    wanted.snapshots =
-        captureAnalysisSnapshots(workload, machine, artifact.analysis);
-    if (!path.empty()) {
-        saveArtifact(path, wanted);
-        inform("captured MRU snapshots -> %s", path.c_str());
-    }
-    return std::move(wanted.snapshots);
-}
-
 int
 cmdSimulate(const Args &args)
 {
     const std::string in = args.required("--analysis");
     const std::string machine_name = args.required("--machine");
     const std::string out = args.required("--output");
-    const std::string warmup = args.optional("--warmup", "mru");
+    const WarmupPolicy policy =
+        parseWarmupPolicy(args.optional("--warmup", "mru"));
     const std::string snapshot_path = args.optional("--snapshots", "");
-    const unsigned jobs = static_cast<unsigned>(args.integer("--jobs", 1));
+    const unsigned jobs = jobsFromArgs(args);
     args.finish();
-    if (warmup != "mru" && warmup != "cold")
-        fatal("unknown warmup policy '%s' (mru, cold)", warmup.c_str());
-    if (warmup == "cold" && !snapshot_path.empty())
-        fatal("--snapshots is only meaningful with --warmup mru");
+    const MachineConfig machine = machineByName(machine_name);
+    if (policy == WarmupPolicy::Cold && !snapshot_path.empty())
+        throw UsageError("--snapshots is only meaningful with --warmup mru");
 
     const AnalysisArtifact artifact = loadAnalysisArtifact(in);
-    const auto workload = artifact.workload.instantiate();
-    const MachineConfig machine = MachineConfig::byName(machine_name);
-    checkMachineFitsWorkload(machine, artifact.workload);
+    Experiment experiment(artifact.workload, {}, ExecutionContext(jobs));
+    experiment.seedAnalysis(artifact.analysis);
+
+    bool snapshots_reused = false;
+    if (policy == WarmupPolicy::MruReplay && !snapshot_path.empty()) {
+        snapshots_reused =
+            experiment.trySeedSnapshots(machine, snapshot_path);
+        if (snapshots_reused)
+            inform("reusing MRU snapshots from %s", snapshot_path.c_str());
+    }
+
+    const SimulationResult &run = experiment.simulate(machine, policy);
+
+    if (policy == WarmupPolicy::MruReplay && !snapshot_path.empty() &&
+        !snapshots_reused) {
+        experiment.exportSnapshots(machine, snapshot_path);
+        inform("captured MRU snapshots -> %s", snapshot_path.c_str());
+    }
 
     RunResultArtifact result;
     result.workload = artifact.workload;
     result.machine = machine.name;
-    result.flavor = "barrierpoints-" + warmup;
-    if (warmup == "mru") {
-        const MruSnapshotSet snapshots = obtainSnapshots(
-            snapshot_path, artifact, *workload, machine);
-        result.result.regions = simulateBarrierPoints(
-            *workload, machine, artifact.analysis, snapshots, jobs);
-    } else {
-        result.result.regions = simulateBarrierPoints(
-            *workload, machine, artifact.analysis, WarmupPolicy::Cold,
-            jobs);
-    }
+    result.flavor =
+        std::string("barrierpoints-") + warmupPolicyName(policy);
+    result.optionsHash = artifact.optionsHash;
+    result.result.regions = run.stats;
     saveArtifact(out, result);
 
-    const Estimate estimate =
-        reconstruct(artifact.analysis, result.result.regions);
     std::printf("%s on %s (%s): %zu barrierpoints simulated -> %s\n",
                 artifact.workload.name.c_str(), machine.name.c_str(),
-                result.flavor.c_str(), result.result.regions.size(),
-                out.c_str());
+                result.flavor.c_str(), run.stats.size(), out.c_str());
     std::printf("estimated cycles %.0f, IPC %.4f, DRAM APKI %.3f\n",
-                estimate.totalCycles, estimate.ipc(), estimate.dramApki());
+                run.estimate.totalCycles, run.estimate.ipc(),
+                run.estimate.dramApki());
     return 0;
 }
 
@@ -353,17 +409,16 @@ cmdReference(const Args &args)
     const std::string machine_name = args.required("--machine");
     const std::string out = args.required("--output");
     args.finish();
+    const MachineConfig machine = machineByName(machine_name);
 
     const AnalysisArtifact artifact = loadAnalysisArtifact(in);
-    const auto workload = artifact.workload.instantiate();
-    const MachineConfig machine = MachineConfig::byName(machine_name);
-    checkMachineFitsWorkload(machine, artifact.workload);
+    Experiment experiment(artifact.workload);
 
     RunResultArtifact result;
     result.workload = artifact.workload;
     result.machine = machine.name;
     result.flavor = "reference";
-    result.result = runReference(*workload, machine);
+    result.result = experiment.reference(machine);
     saveArtifact(out, result);
     std::printf("%s on %s: %zu regions simulated in full -> %s\n",
                 artifact.workload.name.c_str(), machine.name.c_str(),
@@ -387,11 +442,22 @@ cmdReport(const Args &args)
         fatal("result artifact %s was produced for a different workload "
               "than analysis %s",
               result_path.c_str(), analysis_path.c_str());
+    // Flavor/size first: passing a reference run as --result is the
+    // common mix-up and deserves its own message (reference artifacts
+    // carry no options hash, so the hash check would misfire on them).
+    if (result.flavor == "reference")
+        fatal("result artifact %s is a reference run; pass it as "
+              "--reference and a barrierpoint result as --result",
+              result_path.c_str());
     if (result.result.regions.size() != artifact.analysis.points.size())
         fatal("result artifact %s holds %zu records but the analysis has "
               "%zu barrierpoints (is it a reference run?)",
               result_path.c_str(), result.result.regions.size(),
               artifact.analysis.points.size());
+    if (result.optionsHash != artifact.optionsHash)
+        fatal("result artifact %s was simulated from an analysis with "
+              "different options than %s",
+              result_path.c_str(), analysis_path.c_str());
 
     const BarrierPointAnalysis &analysis = artifact.analysis;
     std::printf("workload %s (%u threads), machine %s, warmup %s\n",
@@ -440,18 +506,95 @@ cmdReport(const Args &args)
 }
 
 int
+cmdSweep(const Args &args)
+{
+    Experiment::Config config;
+    const WorkloadSpec spec = workloadSpecFromArgs(args);
+    config.options = analysisOptionsFromArgs(args);
+    config.artifactDir = args.optional("--artifacts", "");
+    const WarmupPolicy policy =
+        parseWarmupPolicy(args.optional("--warmup", "mru"));
+    const unsigned jobs = jobsFromArgs(args);
+    const std::string machines_arg = args.optional(
+        "--machines", std::to_string(spec.threads) + "-core");
+    const bool with_reference = args.flag("--reference");
+    args.finish();
+
+    std::vector<MachineConfig> machines;
+    for (size_t begin = 0; begin <= machines_arg.size();) {
+        size_t end = machines_arg.find(',', begin);
+        if (end == std::string::npos)
+            end = machines_arg.size();
+        const std::string name = machines_arg.substr(begin, end - begin);
+        if (name.empty())
+            throw UsageError("--machines wants a comma-separated list of "
+                             "machine names, got '" +
+                             machines_arg + "'");
+        machines.push_back(machineByName(name));
+        begin = end + 1;
+    }
+
+    Experiment experiment(spec, config, ExecutionContext(jobs));
+    const auto results = experiment.sweep(machines, policy);
+
+    const std::string artifacts_note =
+        config.artifactDir.empty()
+            ? ""
+            : " [artifacts: " + config.artifactDir + "]";
+    std::printf("%s (%u threads): %zu barrierpoints, %zu machines "
+                "(warmup %s)%s\n",
+                spec.name.c_str(), spec.threads,
+                experiment.analysis().points.size(), machines.size(),
+                warmupPolicyName(policy), artifacts_note.c_str());
+    std::printf("%-12s %18s %10s %10s", "machine", "cycles", "ipc",
+                "apki");
+    if (with_reference)
+        std::printf(" %18s %8s", "ref cycles", "err%");
+    std::printf("\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const SimulationResult &run = results[i];
+        std::printf("%-12s %18.0f %10.4f %10.3f", run.machine.c_str(),
+                    run.estimate.totalCycles, run.estimate.ipc(),
+                    run.estimate.dramApki());
+        if (with_reference) {
+            const RunResult &reference =
+                experiment.reference(machines[i]);
+            std::printf(" %18.0f %8.2f", reference.totalCycles(),
+                        percentAbsError(run.estimate.totalCycles,
+                                        reference.totalCycles()));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
 bpMain(int argc, char **argv)
 {
     if (argc < 2) {
-        std::string names;
-        for (const std::string &name : workloadNames())
-            names += name + " ";
-        std::fprintf(stderr, "%s%s\n", kUsage, names.c_str());
+        std::fputs(usageText().c_str(), stderr);
         return 2;
     }
     const std::string command = argv[1];
-    const Args args(argc - 2, argv + 2);
+    if (command == "--help" || command == "-h" || command == "help") {
+        std::fputs(usageText().c_str(), stdout);
+        return 0;
+    }
+    // `bp <command> --help` is the conventional spelling; honor it
+    // before Args insists every --option carries a value. Only
+    // option-key positions count — a --help where a *value* belongs
+    // (e.g. `bp profile --workload --help`) stays a usage error.
+    for (int i = 2; i < argc; i += 2) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usageText().c_str(), stdout);
+            return 0;
+        }
+        if (arg.rfind("--", 0) != 0 && arg != "-o")
+            break;
+    }
     try {
+        const Args args(argc - 2, argv + 2);
         if (command == "profile")
             return cmdProfile(args);
         if (command == "analyze")
@@ -462,12 +605,17 @@ bpMain(int argc, char **argv)
             return cmdReference(args);
         if (command == "report")
             return cmdReport(args);
+        if (command == "sweep")
+            return cmdSweep(args);
+        throw UsageError("unknown command '" + command +
+                         "' (profile, analyze, simulate, reference, "
+                         "report, sweep)");
+    } catch (const UsageError &error) {
+        std::fprintf(stderr, "bp: %s\n(try 'bp --help')\n", error.what());
+        return 2;
     } catch (const SerializeError &error) {
         fatal("%s", error.what());
     }
-    fatal("unknown command '%s' (profile, analyze, simulate, reference, "
-          "report)",
-          command.c_str());
 }
 
 } // namespace
