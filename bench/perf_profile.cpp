@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Single-thread profiling-throughput microbenchmark.
+ *
+ * Profiling cost per memory access is BarrierPoint's whole economic
+ * argument (profile once cheaply, simulate little), so this binary
+ * pins it down: it races the shipped FlatMap / intrusive-LRU
+ * implementations against byte-exact copies of the *pre-rewrite*
+ * structures (`std::unordered_map` reuse index, `std::list` +
+ * `unordered_map` MRU tracker, `unordered_map` BBV accumulation —
+ * see bench/legacy_profile_reference.h, shared with the bit-identity
+ * test suite) over identical recorded streams.
+ *
+ * Usage:
+ *   perf_profile [--ops N] [--json [FILE]] [--check-speedup X]
+ *
+ * `--json` emits the numbers machine-readably (stdout, or FILE) so CI
+ * can archive a perf trajectory across PRs; `--check-speedup X` exits
+ * nonzero when the end-to-end profile speedup falls below X (used
+ * locally to enforce the >= 2x acceptance bar; CI runners are too
+ * noisy to gate on).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/legacy_profile_reference.h"
+#include "src/profile/region_profiler.h"
+#include "src/support/rng.h"
+#include "src/trace/region_trace.h"
+
+namespace bp {
+namespace {
+
+// The pre-rewrite structures raced below live in
+// bench/legacy_profile_reference.h, shared byte-for-byte with the
+// bit-identity test suite so the baseline cannot fork.
+
+// ------------------------------------------------------------- harness
+
+/** One recorded access: line + write flag + bb id (profile loop). */
+struct Access
+{
+    uint64_t line;
+    uint32_t bb;
+    bool write;
+    bool mem;
+};
+
+/**
+ * The profiler's measured diet: a hot set that keeps re-hitting the
+ * same probe clusters, streaming strides that stay cold, and a
+ * per-thread working set with a read/write mix — the same shape the
+ * workload generators emit.
+ */
+std::vector<Access>
+recordStream(uint64_t ops, uint64_t seed)
+{
+    std::vector<Access> stream;
+    stream.reserve(ops);
+    Rng rng(seed);
+    uint64_t stride_addr = 1ull << 30;
+    for (uint64_t i = 0; i < ops; ++i) {
+        Access access{};
+        access.bb = static_cast<uint32_t>(rng.nextBounded(256));
+        switch (rng.nextBounded(5)) {
+          case 0:  // ALU op: BBV-only work
+            access.mem = false;
+            break;
+          case 1:  // streaming stride (always cold)
+            stride_addr += 64;
+            access.line = stride_addr >> 6;
+            access.mem = true;
+            break;
+          case 2:  // hot shared set
+            access.line = rng.nextBounded(64);
+            access.mem = true;
+            break;
+          default:  // working set with writes
+            access.line = (1ull << 14) + rng.nextBounded(1 << 15);
+            access.write = rng.nextBounded(3) == 0;
+            access.mem = true;
+            break;
+        }
+        stream.push_back(access);
+    }
+    return stream;
+}
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Best-of-3 wall time of fn(), seconds. fn returns a checksum. */
+template <typename Fn>
+std::pair<double, uint64_t>
+timeBest(Fn &&fn)
+{
+    double best = 1e300;
+    uint64_t checksum = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const double start = now();
+        checksum = fn();
+        best = std::min(best, now() - start);
+    }
+    return {best, checksum};
+}
+
+struct Result
+{
+    std::string name;
+    double legacySec;
+    double newSec;
+    uint64_t ops;
+
+    double legacyMops() const { return ops / legacySec / 1e6; }
+    double newMops() const { return ops / newSec / 1e6; }
+    double speedup() const { return legacySec / newSec; }
+};
+
+constexpr uint64_t kMruCapacity = 1 << 17;  // 8 MiB LLC of 64 B lines
+constexpr uint64_t kMruPrivate = 4096;
+
+Result
+benchReuse(const std::vector<Access> &stream)
+{
+    std::vector<uint64_t> lines;
+    for (const Access &access : stream)
+        if (access.mem)
+            lines.push_back(access.line);
+
+    const auto [legacy_sec, legacy_sum] = timeBest([&] {
+        LegacyReuseDistanceCollector collector;
+        uint64_t sum = 0;
+        for (const uint64_t line : lines)
+            sum += collector.access(line);
+        return sum;
+    });
+    const auto [new_sec, new_sum] = timeBest([&] {
+        ReuseDistanceCollector collector;
+        uint64_t sum = 0;
+        for (const uint64_t line : lines)
+            sum += collector.access(line);
+        return sum;
+    });
+    if (legacy_sum != new_sum) {
+        std::fprintf(stderr, "reuse checksum mismatch!\n");
+        std::exit(1);
+    }
+    return {"reuse_distance", legacy_sec, new_sec, lines.size()};
+}
+
+/** Fold full MRU state — order and dirtiness — into a checksum, so
+ *  the legacy-vs-new race cannot silently diverge in recency order
+ *  or coherence bits while agreeing on occupancy. */
+uint64_t
+checksumSnapshot(const std::vector<MruEntry> &entries)
+{
+    uint64_t sum = 0;
+    for (const MruEntry &entry : entries) {
+        sum = sum * 1099511628211ull ^ entry.line;
+        sum = sum * 31 + (entry.written ? 2 : 0) +
+            (entry.llcDirty ? 1 : 0);
+    }
+    return sum;
+}
+
+Result
+benchMru(const std::vector<Access> &stream)
+{
+    std::vector<Access> mem;
+    for (const Access &access : stream)
+        if (access.mem)
+            mem.push_back(access);
+
+    const auto [legacy_sec, legacy_sum] = timeBest([&] {
+        LegacyMruTracker tracker(kMruCapacity, kMruPrivate);
+        for (const Access &access : mem)
+            tracker.access(access.line, access.write);
+        return checksumSnapshot(tracker.snapshot());
+    });
+    const auto [new_sec, new_sum] = timeBest([&] {
+        MruTracker tracker(kMruCapacity, kMruPrivate);
+        for (const Access &access : mem)
+            tracker.access(access.line, access.write);
+        return checksumSnapshot(tracker.snapshot());
+    });
+    if (legacy_sum != new_sum) {
+        std::fprintf(stderr, "mru checksum mismatch!\n");
+        std::exit(1);
+    }
+    return {"mru_tracker", legacy_sec, new_sec, mem.size()};
+}
+
+/** Fold a profile into a checksum so no work can be optimized out. */
+uint64_t
+checksumProfile(const RegionProfile &profile)
+{
+    uint64_t sum = 0;
+    for (const ThreadProfile &tp : profile.threads) {
+        sum += tp.instructions + tp.memOps + tp.coldAccesses;
+        for (const auto &[bb, count] : tp.bbv)
+            sum += bb * 31 + count;
+        for (unsigned b = 0; b < tp.ldv.numBuckets(); ++b)
+            sum += tp.ldv.bucket(b) * (b + 1);
+    }
+    return sum;
+}
+
+/** End to end: the full per-op profiling loop, legacy vs shipped. */
+Result
+benchProfile(const std::vector<Access> &stream)
+{
+    RegionTrace trace(0, 1);
+    auto &ops = trace.thread(0);
+    ops.reserve(stream.size());
+    for (const Access &access : stream) {
+        if (!access.mem)
+            ops.push_back(MicroOp::alu(access.bb));
+        else if (access.write)
+            ops.push_back(MicroOp::store(access.bb, access.line << 6));
+        else
+            ops.push_back(MicroOp::load(access.bb, access.line << 6));
+    }
+
+    const auto [legacy_sec, legacy_sum] = timeBest([&] {
+        LegacyReuseDistanceCollector reuse;
+        LegacyMruTracker mru(kMruCapacity, kMruPrivate);
+        RegionProfile profile;
+        profile.threads.resize(1);
+        ThreadProfile &tp = profile.threads[0];
+        for (const MicroOp &op : trace.thread(0)) {
+            ++tp.instructions;
+            ++tp.bbv[op.bb];
+            if (!op.isMem())
+                continue;
+            ++tp.memOps;
+            const uint64_t line = lineOf(op.addr);
+            const uint64_t distance = reuse.access(line);
+            if (distance == LegacyReuseDistanceCollector::kCold) {
+                ++tp.coldAccesses;
+                tp.ldv.add(kColdDistanceMarker);
+            } else {
+                tp.ldv.add(distance);
+            }
+            mru.access(line, op.kind == OpKind::Store);
+        }
+        return checksumProfile(profile) ^
+            checksumSnapshot(mru.snapshot());
+    });
+    const auto [new_sec, new_sum] = timeBest([&] {
+        RegionProfiler profiler(1, kMruCapacity);
+        const uint64_t sum = checksumProfile(profiler.profileRegion(trace));
+        return sum ^ checksumSnapshot(profiler.mruSnapshot()[0]);
+    });
+    if (legacy_sum != new_sum) {
+        std::fprintf(stderr, "profile checksum mismatch!\n");
+        std::exit(1);
+    }
+    return {"profile_region", legacy_sec, new_sec, stream.size()};
+}
+
+} // namespace
+} // namespace bp
+
+int
+main(int argc, char **argv)
+{
+    using namespace bp;
+
+    uint64_t ops = 4000000;
+    bool json = false;
+    std::string json_path;
+    double check_speedup = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
+            ops = std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--json")) {
+            json = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                json_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--check-speedup") &&
+                   i + 1 < argc) {
+            check_speedup = std::strtod(argv[++i], nullptr);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--ops N] [--json [FILE]] "
+                         "[--check-speedup X]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const std::vector<Access> stream = recordStream(ops, 0xB477E7);
+    const std::vector<Result> results{benchReuse(stream),
+                                      benchMru(stream),
+                                      benchProfile(stream)};
+
+    std::printf("%-16s %14s %14s %9s\n", "benchmark", "legacy Mops/s",
+                "new Mops/s", "speedup");
+    for (const Result &r : results) {
+        std::printf("%-16s %14.2f %14.2f %8.2fx\n", r.name.c_str(),
+                    r.legacyMops(), r.newMops(), r.speedup());
+    }
+
+    if (json) {
+        FILE *out = stdout;
+        if (!json_path.empty()) {
+            out = std::fopen(json_path.c_str(), "w");
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             json_path.c_str());
+                return 1;
+            }
+        }
+        std::fprintf(out, "{\n  \"ops\": %llu,\n  \"benchmarks\": [\n",
+                     (unsigned long long)ops);
+        for (size_t i = 0; i < results.size(); ++i) {
+            const Result &r = results[i];
+            std::fprintf(out,
+                         "    {\"name\": \"%s\", \"ops\": %llu, "
+                         "\"legacy_mops\": %.3f, \"new_mops\": %.3f, "
+                         "\"speedup\": %.3f}%s\n",
+                         r.name.c_str(), (unsigned long long)r.ops,
+                         r.legacyMops(), r.newMops(), r.speedup(),
+                         i + 1 < results.size() ? "," : "");
+        }
+        std::fprintf(out, "  ]\n}\n");
+        if (out != stdout)
+            std::fclose(out);
+    }
+
+    if (check_speedup > 0.0) {
+        const double profile_speedup = results.back().speedup();
+        if (profile_speedup < check_speedup) {
+            std::fprintf(stderr,
+                         "profile_region speedup %.2fx below the "
+                         "required %.2fx\n",
+                         profile_speedup, check_speedup);
+            return 1;
+        }
+    }
+    return 0;
+}

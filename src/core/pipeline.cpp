@@ -6,6 +6,7 @@
 
 #include "src/profile/mru_tracker.h"
 #include "src/support/coremask.h"
+#include "src/support/flat_map.h"
 #include "src/support/logging.h"
 #include "src/support/thread_pool.h"
 
@@ -180,13 +181,15 @@ captureMruSnapshots(const Workload &workload,
     // Coherence-aware capture: a write invalidates other cores'
     // retained copies; a read of another core's dirty line downgrades
     // it (its dirty data migrates to the LLC). Tracked with a holder
-    // mask and last-writer per line.
+    // mask and last-writer per line, in a flat probe table like the
+    // trackers themselves (this loop is the other profiling-speed
+    // path: it replays every memory access of the prefix).
     struct LineCoherence
     {
         uint64_t holders = 0;
         int16_t writer = -1;
     };
-    std::unordered_map<uint64_t, LineCoherence> coherence;
+    FlatMap<LineCoherence> coherence;
 
     // Only lines plausibly still resident in the shared LLC replay a
     // dirty LLC copy; per core that is roughly an equal share.
@@ -219,7 +222,8 @@ captureMruSnapshots(const Workload &workload,
                     continue;
                 const uint64_t line = lineOf(op.addr);
                 const bool write = op.kind == OpKind::Store;
-                LineCoherence &lc = coherence[line];
+                const uint64_t hash = flatHash(line);
+                LineCoherence &lc = *coherence.insert(line, hash).first;
                 if (write) {
                     uint64_t others = lc.holders & ~coreBit(t);
                     while (others) {
@@ -238,7 +242,7 @@ captureMruSnapshots(const Workload &workload,
                     }
                     lc.holders |= coreBit(t);
                 }
-                trackers[t].access(line, write);
+                trackers[t].access(line, write, hash);
             }
         }
     }

@@ -149,35 +149,63 @@ selectBarrierPoints(const ClusteringResult &clustering,
     for (const uint64_t count : region_instructions)
         total_instructions += count;
 
-    // Per cluster: find the minimum centroid distance and the
-    // aggregate instruction count.
-    std::vector<double> best_dist(km.k,
-                                  std::numeric_limits<double>::max());
+    // Per cluster: the aggregate instruction count.
     std::vector<uint64_t> cluster_instructions(km.k, 0);
-    for (size_t i = 0; i < n; ++i) {
-        const unsigned c = km.assignment[i];
-        cluster_instructions[c] += region_instructions[i];
-        best_dist[c] = std::min(best_dist[c],
-                                squaredDistance(points[i],
-                                                km.centroids[c]));
-    }
+    for (size_t i = 0; i < n; ++i)
+        cluster_instructions[km.assignment[i]] += region_instructions[i];
 
-    // The representative is the region closest to the centroid. Many
-    // regions of a repetitive phase project to (nearly) identical
-    // points; among such near-ties we pick the median occurrence so
-    // the representative reflects steady-state behaviour rather than
-    // a cold-start transient at the front of the cluster.
-    std::vector<std::vector<uint32_t>> candidates(km.k);
-    for (size_t i = 0; i < n; ++i) {
-        const unsigned c = km.assignment[i];
-        const double dist = squaredDistance(points[i], km.centroids[c]);
-        if (dist <= best_dist[c] + 1e-9 * (1.0 + best_dist[c]))
-            candidates[c].push_back(static_cast<uint32_t>(i));
-    }
+    // The representative is the eligible region closest to the
+    // centroid. Many regions of a repetitive phase project to
+    // (nearly) identical points; among such near-ties the median
+    // occurrence is picked so the representative reflects
+    // steady-state behaviour rather than a cold-start transient at
+    // the front of the cluster. One policy (and one tolerance) for
+    // every pass below.
+    const auto pick_representative = [&](unsigned c,
+                                         auto &&eligible) -> int64_t {
+        double best = std::numeric_limits<double>::max();
+        for (size_t i = 0; i < n; ++i) {
+            if (km.assignment[i] == c && eligible(i))
+                best = std::min(best, squaredDistance(points[i],
+                                                      km.centroids[c]));
+        }
+        if (best == std::numeric_limits<double>::max())
+            return -1;
+        std::vector<uint32_t> ties;
+        for (size_t i = 0; i < n; ++i) {
+            if (km.assignment[i] != c || !eligible(i))
+                continue;
+            const double dist = squaredDistance(points[i],
+                                                km.centroids[c]);
+            if (dist <= best + 1e-9 * (1.0 + best))
+                ties.push_back(static_cast<uint32_t>(i));
+        }
+        return ties[ties.size() / 2];
+    };
+
     std::vector<uint32_t> representative(km.k, 0);
+    std::vector<char> has_representative(km.k, 0);
     for (unsigned c = 0; c < km.k; ++c) {
-        if (!candidates[c].empty())
-            representative[c] = candidates[c][candidates[c].size() / 2];
+        int64_t pick = pick_representative(
+            c, [](size_t) { return true; });
+        if (pick < 0)
+            continue;  // no region assigned: nothing to represent
+        // A representative with zero instructions gets multiplier 0,
+        // which silently drops its whole cluster's instruction mass
+        // from every reconstructed Estimate. When the cluster has
+        // nonzero aggregate instructions, some member can speak for
+        // that mass: re-pick among the nonzero-instruction members.
+        // Clusters whose every member is empty keep the unrestricted
+        // pick and a zero multiplier — there is no mass to lose.
+        if (region_instructions[pick] == 0 && cluster_instructions[c] > 0) {
+            pick = pick_representative(c, [&](size_t i) {
+                return region_instructions[i] > 0;
+            });
+            BP_ASSERT(pick >= 0,
+                      "cluster with instructions has no nonzero member");
+        }
+        representative[c] = static_cast<uint32_t>(pick);
+        has_representative[c] = 1;
     }
 
     // Emit barrierpoints ordered by region index.
@@ -199,7 +227,7 @@ selectBarrierPoints(const ClusteringResult &clustering,
     constexpr unsigned kNoPoint = std::numeric_limits<unsigned>::max();
     std::vector<unsigned> cluster_to_point(km.k, kNoPoint);
     for (const unsigned c : cluster_order) {
-        if (candidates[c].empty())
+        if (!has_representative[c])
             continue;  // no region assigned: nothing to represent
         BarrierPoint point;
         point.region = representative[c];

@@ -21,14 +21,27 @@ signatureKindName(SignatureKind kind)
 
 namespace {
 
-// Feature id layout: | kind (1 bit, 62) | thread (16 bits) | key |
+// Feature id layout (64 bits):
+//   bit 63     unused
+//   bit 62     metric space (0 = BBV, 1 = LDV)
+//   bits 61-32 thread slot (30 bits)
+//   bits 31-0  per-metric key (basic block id / LDV bucket index)
+// The fields must stay inside their widths or ids from different
+// (space, thread) combinations would collide and merge unrelated
+// feature mass, so featureId() checks both bounds.
 constexpr uint64_t kLdvSpace = 1ull << 62;
+constexpr unsigned kThreadBits = 30;
+constexpr unsigned kKeyBits = 32;
 
 inline uint64_t
 featureId(bool ldv, unsigned thread, uint64_t key)
 {
-    return (ldv ? kLdvSpace : 0) | (static_cast<uint64_t>(thread) << 32) |
-        key;
+    BP_ASSERT(thread < (1u << kThreadBits),
+              "thread slot exceeds the feature id's 30-bit field");
+    BP_ASSERT(key < (1ull << kKeyBits),
+              "feature key exceeds the feature id's 32-bit field");
+    return (ldv ? kLdvSpace : 0) |
+        (static_cast<uint64_t>(thread) << kKeyBits) | key;
 }
 
 /** Append one metric's features (un-normalized) for all threads. */

@@ -11,67 +11,82 @@ MruTracker::MruTracker(uint64_t capacity_lines, uint64_t private_lines)
     BP_ASSERT(privateCapacity_ > 0, "private capacity must be positive");
 }
 
-void
-MruTracker::access(uint64_t line, bool write)
+bool
+MruTracker::releaseIfIdle(uint64_t line, const LineState &state)
 {
+    if (state.mainIdx != IntrusiveLru::kNil ||
+        state.privIdx != IntrusiveLru::kNil || state.llcDirty)
+        return false;
+    lines_.erase(line);
+    return true;
+}
+
+void
+MruTracker::access(uint64_t line, bool write, uint64_t hash)
+{
+    LineState *state = lines_.insert(line, hash).first;
+
     // Main (LLC-sized) recency list.
-    auto it = map_.find(line);
-    if (it != map_.end()) {
-        order_.erase(it->second);
-    } else if (map_.size() >= capacity_) {
-        const uint64_t victim = order_.front();
-        map_.erase(victim);
-        llcDirty_.erase(victim);
-        order_.pop_front();
+    if (state->mainIdx != IntrusiveLru::kNil) {
+        main_.moveToBack(state->mainIdx);
+    } else {
+        if (main_.size() >= capacity_) {
+            const uint64_t victim = main_.popFront();
+            LineState *vs = lines_.find(victim);
+            vs->mainIdx = IntrusiveLru::kNil;
+            vs->llcDirty = false;
+            // Erasing the victim's record may backward-shift ours.
+            if (releaseIfIdle(victim, *vs))
+                state = lines_.find(line, hash);
+        }
+        state->mainIdx = main_.pushBack(line);
     }
-    order_.push_back(line);
-    map_[line] = std::prev(order_.end());
 
     // Private-capacity dirtiness filter. While a line stays within
     // this window its dirty data (if any) is still in L1/L2; once it
     // ages out, the dirty copy has been written back to the LLC.
-    auto pit = privMap_.find(line);
     bool dirty = write;
-    if (pit != privMap_.end()) {
-        dirty = dirty || pit->second->dirty;
-        privOrder_.erase(pit->second);
-        privMap_.erase(pit);
-    } else if (privMap_.size() >= privateCapacity_) {
-        const PrivateLine &victim = privOrder_.front();
-        if (victim.dirty)
-            llcDirty_.insert(victim.line);
-        privMap_.erase(victim.line);
-        privOrder_.pop_front();
+    if (state->privIdx != IntrusiveLru::kNil) {
+        dirty = dirty || state->privDirty;
+        priv_.moveToBack(state->privIdx);
+    } else {
+        if (priv_.size() >= privateCapacity_) {
+            const uint64_t victim = priv_.popFront();
+            LineState *vs = lines_.find(victim);
+            if (vs->privDirty)
+                vs->llcDirty = true;
+            vs->privIdx = IntrusiveLru::kNil;
+            vs->privDirty = false;
+            if (releaseIfIdle(victim, *vs))
+                state = lines_.find(line, hash);
+        }
+        state->privIdx = priv_.pushBack(line);
     }
-    privOrder_.push_back(PrivateLine{line, dirty});
-    privMap_[line] = std::prev(privOrder_.end());
+    state->privDirty = dirty;
     if (write)
-        llcDirty_.erase(line);
+        state->llcDirty = false;
 }
 
 void
 MruTracker::invalidateLine(uint64_t line)
 {
-    auto it = map_.find(line);
-    if (it != map_.end()) {
-        order_.erase(it->second);
-        map_.erase(it);
-    }
-    auto pit = privMap_.find(line);
-    if (pit != privMap_.end()) {
-        privOrder_.erase(pit->second);
-        privMap_.erase(pit);
-    }
-    llcDirty_.erase(line);
+    LineState *state = lines_.find(line);
+    if (!state)
+        return;
+    if (state->mainIdx != IntrusiveLru::kNil)
+        main_.erase(state->mainIdx);
+    if (state->privIdx != IntrusiveLru::kNil)
+        priv_.erase(state->privIdx);
+    lines_.erase(line);
 }
 
 void
 MruTracker::downgradeLine(uint64_t line)
 {
-    auto pit = privMap_.find(line);
-    if (pit != privMap_.end() && pit->second->dirty) {
-        pit->second->dirty = false;
-        llcDirty_.insert(line);
+    LineState *state = lines_.find(line);
+    if (state && state->privIdx != IntrusiveLru::kNil && state->privDirty) {
+        state->privDirty = false;
+        state->llcDirty = true;
     }
 }
 
@@ -79,31 +94,29 @@ std::vector<MruEntry>
 MruTracker::snapshot(uint64_t llc_dirty_window) const
 {
     std::vector<MruEntry> entries;
-    entries.reserve(order_.size());
-    const uint64_t total = order_.size();
+    entries.reserve(main_.size());
+    const uint64_t total = main_.size();
     uint64_t position = 0;  // 0 = oldest
-    for (const uint64_t line : order_) {
+    main_.forEachOldestFirst([&](uint64_t line) {
         const uint64_t from_mru = total - 1 - position;
         ++position;
+        const LineState *state = lines_.find(line);
         MruEntry entry{line, false, false};
-        auto pit = privMap_.find(line);
-        if (pit != privMap_.end() && pit->second->dirty)
+        if (state->privIdx != IntrusiveLru::kNil && state->privDirty)
             entry.written = true;
-        else if (from_mru < llc_dirty_window && llcDirty_.count(line))
+        else if (from_mru < llc_dirty_window && state->llcDirty)
             entry.llcDirty = true;
         entries.push_back(entry);
-    }
+    });
     return entries;
 }
 
 void
 MruTracker::reset()
 {
-    order_.clear();
-    map_.clear();
-    privOrder_.clear();
-    privMap_.clear();
-    llcDirty_.clear();
+    lines_.clear();
+    main_.clear();
+    priv_.clear();
 }
 
 } // namespace bp

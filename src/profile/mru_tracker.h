@@ -17,16 +17,24 @@
  *   - a line whose dirty copy has aged past that window is replayed
  *     *LLC dirty*: present Shared in the private levels but Modified
  *     in the L3, so its eventual eviction still writes memory.
+ *
+ * This sits on the profiler's per-memory-access hot path, so all
+ * per-line state (positions in both recency lists, both dirtiness
+ * bits) lives in a single FlatMap record — one hash probe per access
+ * instead of the five-plus map operations of the previous
+ * `std::list` + `unordered_map` + `unordered_set` representation —
+ * and the recency lists themselves are intrusive index-linked arenas
+ * with no per-node allocation.
  */
 
 #ifndef BP_PROFILE_MRU_TRACKER_H
 #define BP_PROFILE_MRU_TRACKER_H
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
+
+#include "src/support/flat_map.h"
+#include "src/support/intrusive_lru.h"
 
 namespace bp {
 
@@ -52,7 +60,17 @@ class MruTracker
                         uint64_t private_lines = 4096);
 
     /** Record a touch of @p line (moves it to MRU). */
-    void access(uint64_t line, bool write);
+    void
+    access(uint64_t line, bool write)
+    {
+        access(line, write, flatHash(line));
+    }
+
+    /** access() with a caller-precomputed flatHash(line). */
+    void access(uint64_t line, bool write, uint64_t hash);
+
+    /** Start the probe load for a line about to be accessed. */
+    void prefetch(uint64_t hash) const { lines_.prefetch(hash); }
 
     /**
      * Another core wrote @p line: this core's copy is gone. Drops the
@@ -77,32 +95,38 @@ class MruTracker
     std::vector<MruEntry> snapshot(
         uint64_t llc_dirty_window = UINT64_MAX) const;
 
-    uint64_t size() const { return map_.size(); }
+    uint64_t size() const { return main_.size(); }
     uint64_t capacity() const { return capacity_; }
 
     /** Drop all state. */
     void reset();
 
   private:
-    struct PrivateLine
+    /**
+     * Everything known about one line, living in one FlatMap slot.
+     * A record exists while the line is in either recency list or
+     * carries a dirty LLC copy; it is dropped when all three facts
+     * lapse (so the map tracks the retained window, not the whole
+     * footprint).
+     */
+    struct LineState
     {
-        uint64_t line;
-        bool dirty;
+        uint32_t mainIdx = IntrusiveLru::kNil;  ///< main-list node
+        uint32_t privIdx = IntrusiveLru::kNil;  ///< private-window node
+        bool privDirty = false;  ///< dirty in the private levels
+        bool llcDirty = false;   ///< dirty copy lives in the LLC
     };
+
+    /** Drop @p state's record when nothing references the line.
+     *  @return true when the map shifted (pointers invalidated). */
+    bool releaseIfIdle(uint64_t line, const LineState &state);
 
     uint64_t capacity_;
     uint64_t privateCapacity_;
 
-    std::list<uint64_t> order_;  ///< front = LRU, back = MRU
-    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
-
-    /** L2-sized LRU filter deciding private-level dirtiness. */
-    std::list<PrivateLine> privOrder_;
-    std::unordered_map<uint64_t, std::list<PrivateLine>::iterator>
-        privMap_;
-
-    /** Lines whose dirty copy has migrated to the LLC. */
-    std::unordered_set<uint64_t> llcDirty_;
+    FlatMap<LineState> lines_;
+    IntrusiveLru main_;  ///< LLC-sized recency order, front = LRU
+    IntrusiveLru priv_;  ///< L2-sized dirtiness filter, front = LRU
 };
 
 } // namespace bp

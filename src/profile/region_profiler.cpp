@@ -98,6 +98,7 @@ RegionProfiler::RegionProfiler(unsigned threads,
 {
     BP_ASSERT(threads_ >= 1, "profiler needs at least one thread");
     reuse_.resize(threads_);
+    bbvScratch_.resize(threads_);
     if (mru_capacity_lines > 0) {
         mru_.reserve(threads_);
         for (unsigned t = 0; t < threads_; ++t)
@@ -115,33 +116,58 @@ RegionProfiler::profileRegion(const RegionTrace &region, ThreadPool *pool)
     profile.regionIndex = region.regionIndex();
     profile.threads.resize(threads_);
 
-    // A cold access has an unbounded stack distance; it lands in a
-    // high bucket that no finite cache could satisfy.
-    constexpr uint64_t cold_marker = 1ull << 38;
-
-    // Thread t touches only reuse_[t], mru_[t] and profile.threads[t].
+    // Thread t touches only reuse_[t], mru_[t], bbvScratch_[t] and
+    // profile.threads[t].
     parallelFor(pool, 0, threads_, [&](uint64_t t) {
         ThreadProfile &thread_profile = profile.threads[t];
         ReuseDistanceCollector &reuse = reuse_[t];
         MruTracker *mru = mru_.empty() ? nullptr : &mru_[t];
+        FlatMap<uint64_t> &bbv = bbvScratch_[t];
+        bbv.clear();
 
-        for (const MicroOp &op : region.thread(t)) {
+        const std::vector<MicroOp> &ops = region.thread(t);
+        uint64_t lookahead_hash = 0;
+        size_t lookahead_index = SIZE_MAX;
+        for (size_t i = 0; i < ops.size(); ++i) {
+            const MicroOp &op = ops[i];
             ++thread_profile.instructions;
-            ++thread_profile.bbv[op.bb];
+            ++*bbv.insert(op.bb).first;
             if (!op.isMem())
                 continue;
             ++thread_profile.memOps;
             const uint64_t line = lineOf(op.addr);
-            const uint64_t distance = reuse.access(line);
+            // One mix of the line shared by both probes (reusing the
+            // lookahead's hash when the previous iteration already
+            // computed it); the probes themselves are usually cache
+            // misses over footprint-sized tables, so start the MRU
+            // probe and the next access's probes now and let them
+            // overlap the reuse computation's Fenwick work.
+            const uint64_t hash = lookahead_index == i
+                ? lookahead_hash : flatHash(line);
+            if (mru)
+                mru->prefetch(hash);
+            if (i + 1 < ops.size() && ops[i + 1].isMem()) {
+                lookahead_hash = flatHash(lineOf(ops[i + 1].addr));
+                lookahead_index = i + 1;
+                reuse.prefetch(lookahead_hash);
+                if (mru)
+                    mru->prefetch(lookahead_hash);
+            }
+            const uint64_t distance = reuse.access(line, hash);
             if (distance == ReuseDistanceCollector::kCold) {
                 ++thread_profile.coldAccesses;
-                thread_profile.ldv.add(cold_marker);
+                thread_profile.ldv.add(kColdDistanceMarker);
             } else {
                 thread_profile.ldv.add(distance);
             }
             if (mru)
-                mru->access(line, op.kind == OpKind::Store);
+                mru->access(line, op.kind == OpKind::Store, hash);
         }
+
+        thread_profile.bbv.reserve(bbv.size());
+        bbv.forEach([&](uint64_t bb, uint64_t count) {
+            thread_profile.bbv.emplace(static_cast<uint32_t>(bb), count);
+        });
     });
     return profile;
 }

@@ -9,6 +9,12 @@
  * instruction counts. Reuse-distance state persists across regions
  * (the LRU stack is a property of the whole execution), so regions
  * must be fed in order.
+ *
+ * The per-access hot path is allocation-free: the cache line is
+ * hashed once (flatHash) and that hash is shared by the reuse and
+ * MRU probes, BBV counts accumulate in a reusable FlatMap scratch
+ * arena instead of allocating `unordered_map` nodes, and the reuse /
+ * MRU structures themselves are flat (see their headers).
  */
 
 #ifndef BP_PROFILE_REGION_PROFILER_H
@@ -29,11 +35,27 @@ class ThreadPool;
 class Serializer;
 class Deserializer;
 
+/** Buckets kept in every LDV histogram. */
+constexpr unsigned kLdvBuckets = 40;
+
+/**
+ * Stack distance recorded for cold (first-touch) accesses: large
+ * enough that no finite simulated cache could satisfy it, yet —
+ * guaranteed below — small enough to land inside the LDV's bucket
+ * range rather than relying on the histogram's top-bucket clamp.
+ */
+constexpr uint64_t kColdDistanceMarker = 1ull << 38;
+
+static_assert(Pow2Histogram::bucketOf(kColdDistanceMarker) <
+                  kLdvBuckets - 1,
+              "the cold-access marker must map below the LDV's top "
+              "bucket, where clamped overflow mass also lands");
+
 /** One thread's profile of one inter-barrier region. */
 struct ThreadProfile
 {
     std::unordered_map<uint32_t, uint64_t> bbv;  ///< bb id -> exec count
-    Pow2Histogram ldv{40};                       ///< stack distance buckets
+    Pow2Histogram ldv{kLdvBuckets};              ///< stack distance buckets
     uint64_t instructions = 0;
     uint64_t memOps = 0;
     uint64_t coldAccesses = 0;
@@ -96,6 +118,9 @@ class RegionProfiler
     unsigned threads_;
     std::vector<ReuseDistanceCollector> reuse_;
     std::vector<MruTracker> mru_;
+    /** Per-thread BBV scratch, reused across regions (no allocation
+     *  on the hot path once warm). */
+    std::vector<FlatMap<uint64_t>> bbvScratch_;
 };
 
 } // namespace bp

@@ -1,6 +1,7 @@
 #include "src/profile/reuse_distance.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/support/logging.h"
 
@@ -13,63 +14,84 @@ ReuseDistanceCollector::ReuseDistanceCollector(size_t initial_capacity)
 }
 
 uint64_t
-ReuseDistanceCollector::access(uint64_t line)
+ReuseDistanceCollector::access(uint64_t line, uint64_t hash)
 {
     ++accesses_;
 
-    uint64_t distance = kCold;
-    auto it = lastPos_.find(line);
-    if (it != lastPos_.end()) {
-        const uint64_t pos = it->second;
-        // Lines whose MRU position is later than `pos` were touched
-        // after the previous access to this line.
-        distance = static_cast<uint64_t>(
-            tree_.rangeSum(pos + 1, nextPos_ == 0 ? 0 : nextPos_ - 1));
-        tree_.add(pos, -1);
-        live_[pos] = 0;
-        // Remove the stale mapping before any compaction can run:
-        // compact() rebuilds from lastPos_ and must not resurrect it.
-        lastPos_.erase(it);
+    // Out of positions: compact first, while every mapping in
+    // lastPos_ is still live. Renumbering preserves the relative
+    // order of live positions, so the distance computed below is
+    // unchanged. Keep 4x headroom over the live set: compaction is
+    // O(position space), so the headroom directly sets how rarely the
+    // amortized cost recurs.
+    if (nextPos_ >= live_.size()) {
+        const uint64_t live_count = lastPos_.size();
+        size_t target = live_.size();
+        while (live_count * 4 > target)
+            target *= 2;
+        compact(target);
     }
 
-    if (nextPos_ >= live_.size()) {
-        // Out of positions: compact, doubling only when the live set
-        // actually fills more than half the space.
-        const uint64_t live_count = lastPos_.size();
-        const size_t target = live_count * 2 > live_.size()
-            ? live_.size() * 2 : live_.size();
-        compact(target);
+    auto [pos_slot, cold] = lastPos_.insert(line, hash);
+    uint64_t distance = kCold;
+    if (!cold) {
+        const uint64_t pos = *pos_slot;
+        // Re-access of the stack top: distance 0, and the line may
+        // simply stay at its position — no tree update, no new
+        // position consumed. (Spatial locality makes this the single
+        // most common case on real traces.)
+        if (pos + 1 == nextPos_)
+            return 0;
+        // Lines whose MRU position is later than `pos` were touched
+        // after the previous access to this line. Every line in
+        // lastPos_ holds exactly one live position, so the count of
+        // live positions after `pos` is the footprint minus the live
+        // positions up to and including `pos` — one Fenwick
+        // traversal, where a [pos+1, nextPos_-1] range sum costs two.
+        distance = lastPos_.size() -
+            static_cast<uint64_t>(tree_.prefixSum(pos));
+        tree_.add(pos, -1);
+        live_[pos] = 0;
     }
 
     const uint64_t pos = nextPos_++;
     tree_.add(pos, 1);
     live_[pos] = 1;
-    lastPos_.emplace(line, pos);
+    *pos_slot = pos;  // in-place update: the line is never un-mapped
     return distance;
 }
 
 void
 ReuseDistanceCollector::compact(size_t new_capacity)
 {
-    // Collect live (position, line) pairs in position order.
-    std::vector<std::pair<uint64_t, uint64_t>> entries;
-    entries.reserve(lastPos_.size());
-    for (const auto &[line, pos] : lastPos_)
-        entries.emplace_back(pos, line);
-    std::sort(entries.begin(), entries.end());
-
-    BP_ASSERT(new_capacity > entries.size(),
+    const uint64_t live_count = lastPos_.size();
+    BP_ASSERT(new_capacity > live_count,
               "compaction target must exceed the live set");
 
-    live_.assign(new_capacity, 0);
-    tree_ = FenwickTree(new_capacity);
-    nextPos_ = 0;
-    for (const auto &[old_pos, line] : entries) {
-        lastPos_[line] = nextPos_;
-        live_[nextPos_] = 1;
-        tree_.add(nextPos_, 1);
-        ++nextPos_;
+    // Order-preserving renumbering: a live position's new index is
+    // the number of live positions before it, computed in one
+    // sequential sweep of the liveness bitmap. (This replaces a
+    // collect-and-sort of all (position, line) pairs — O(n log n)
+    // with random access — and yields the identical numbering.)
+    rankOfPos_.resize(nextPos_);
+    uint32_t rank = 0;
+    for (uint64_t p = 0; p < nextPos_; ++p) {
+        rankOfPos_[p] = rank;
+        rank += live_[p];
     }
+    lastPos_.forEach([&](uint64_t line, uint64_t &pos) {
+        (void)line;
+        pos = rankOfPos_[pos];
+    });
+
+    // The renumbered live set occupies positions [0, live_count), so
+    // the Fenwick tree is a closed-form prefix-of-ones — no per-
+    // position update chains.
+    live_.assign(new_capacity, 0);
+    std::fill(live_.begin(), live_.begin() + live_count, 1);
+    tree_ = BasicFenwickTree<int32_t>(new_capacity);
+    tree_.setPrefixOnes(live_count);
+    nextPos_ = live_count;
 }
 
 void
@@ -77,7 +99,7 @@ ReuseDistanceCollector::reset()
 {
     lastPos_.clear();
     std::fill(live_.begin(), live_.end(), 0);
-    tree_ = FenwickTree(live_.size());
+    tree_ = BasicFenwickTree<int32_t>(live_.size());
     nextPos_ = 0;
     accesses_ = 0;
 }

@@ -11,16 +11,22 @@
  * is then a suffix count of live positions. The position space is
  * periodically compacted so memory stays proportional to the
  * footprint rather than the access count.
+ *
+ * The line -> position index is a FlatMap probed once per access:
+ * the position of a re-accessed line is updated in place, where the
+ * previous `std::unordered_map` representation paid a find, an
+ * erase, and a re-insert (three probes and a node free/alloc) for
+ * every single access.
  */
 
 #ifndef BP_PROFILE_REUSE_DISTANCE_H
 #define BP_PROFILE_REUSE_DISTANCE_H
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "src/support/fenwick.h"
+#include "src/support/flat_map.h"
 
 namespace bp {
 
@@ -38,7 +44,17 @@ class ReuseDistanceCollector
      *
      * @return the LRU stack distance, or kCold on first touch.
      */
-    uint64_t access(uint64_t line);
+    uint64_t
+    access(uint64_t line)
+    {
+        return access(line, flatHash(line));
+    }
+
+    /** access() with a caller-precomputed flatHash(line). */
+    uint64_t access(uint64_t line, uint64_t hash);
+
+    /** Start the probe load for a line about to be accessed. */
+    void prefetch(uint64_t hash) const { lastPos_.prefetch(hash); }
 
     /** Forget all history. */
     void reset();
@@ -53,9 +69,13 @@ class ReuseDistanceCollector
     /** Renumber live positions into [0, footprint) and rebuild. */
     void compact(size_t new_capacity);
 
-    std::unordered_map<uint64_t, uint64_t> lastPos_;  ///< line -> position
+    FlatMap<uint64_t> lastPos_;  ///< line -> position
     std::vector<uint8_t> live_;  ///< 1 when a position is a line's MRU
-    FenwickTree tree_;
+    /** 32-bit nodes: liveness partial sums are bounded by the
+     *  footprint, and half-width nodes halve the tree's cache
+     *  traffic — the dominant cost of a reuse query. */
+    BasicFenwickTree<int32_t> tree_;
+    std::vector<uint32_t> rankOfPos_;  ///< compaction scratch, reused
     uint64_t nextPos_ = 0;
     uint64_t accesses_ = 0;
 };

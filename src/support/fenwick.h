@@ -11,6 +11,7 @@
 #ifndef BP_SUPPORT_FENWICK_H
 #define BP_SUPPORT_FENWICK_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -18,11 +19,20 @@
 
 namespace bp {
 
-/** Point-update / prefix-sum Fenwick tree, 0-based external indices. */
-class FenwickTree
+/**
+ * Point-update / prefix-sum Fenwick tree, 0-based external indices.
+ *
+ * @tparam CountT node storage type. The reuse-distance collector
+ *         stores 0/1 liveness marks whose partial sums fit easily in
+ *         32 bits, and halving the node size halves the cache
+ *         traffic of the profiler's hottest loop; general users keep
+ *         the 64-bit default (FenwickTree alias below).
+ */
+template <typename CountT = int64_t>
+class BasicFenwickTree
 {
   public:
-    explicit FenwickTree(size_t size = 0) : tree_(size + 1, 0) {}
+    explicit BasicFenwickTree(size_t size = 0) : tree_(size + 1, 0) {}
 
     /** Grow to hold at least @p size positions (counts preserved). */
     void
@@ -40,7 +50,28 @@ class FenwickTree
     {
         BP_ASSERT(index < size(), "fenwick index out of range");
         for (size_t i = index + 1; i < tree_.size(); i += i & (~i + 1))
-            tree_[i] += delta;
+            tree_[i] += static_cast<CountT>(delta);
+    }
+
+    /**
+     * Reset the tree to hold a 1 at every position in [0, count) and
+     * 0 elsewhere. Each node's value is a closed-form function of its
+     * covered range, so this is one sequential sweep — the
+     * reuse-distance compactor uses it to rebuild its renumbered
+     * live set without issuing `count` individual add() chains.
+     */
+    void
+    setPrefixOnes(size_t count)
+    {
+        BP_ASSERT(count <= size(), "prefix exceeds the tree");
+        for (size_t i = 1; i < tree_.size(); ++i) {
+            const size_t lsb = i & (~i + 1);
+            const size_t covered_start = i - lsb;  // external index
+            size_t ones = 0;
+            if (count > covered_start)
+                ones = std::min(lsb, count - covered_start);
+            tree_[i] = static_cast<CountT>(ones);
+        }
     }
 
     /** @return sum of positions [0, index] inclusive. */
@@ -75,8 +106,11 @@ class FenwickTree
     }
 
   private:
-    std::vector<int64_t> tree_;
+    std::vector<CountT> tree_;
 };
+
+/** The general-purpose 64-bit instantiation. */
+using FenwickTree = BasicFenwickTree<>;
 
 } // namespace bp
 

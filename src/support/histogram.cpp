@@ -1,7 +1,5 @@
 #include "src/support/histogram.h"
 
-#include <bit>
-
 #include "src/support/logging.h"
 
 namespace bp {
@@ -11,23 +9,6 @@ Pow2Histogram::Pow2Histogram(unsigned max_buckets)
 {
     BP_ASSERT(max_buckets >= 1 && max_buckets <= 64,
               "bucket count out of range");
-}
-
-unsigned
-Pow2Histogram::bucketOf(uint64_t value)
-{
-    if (value < 2)
-        return 0;
-    return 63 - static_cast<unsigned>(std::countl_zero(value));
-}
-
-void
-Pow2Histogram::add(uint64_t value, uint64_t count)
-{
-    unsigned idx = bucketOf(value);
-    if (idx >= buckets_.size())
-        idx = static_cast<unsigned>(buckets_.size()) - 1;
-    buckets_[idx] += count;
 }
 
 void

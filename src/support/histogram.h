@@ -3,14 +3,18 @@
  * Power-of-two bucketed histogram.
  *
  * Used for LRU stack distance vectors (LDVs): bucket n counts values in
- * [2^n, 2^(n+1)), with bucket 0 counting values in [0, 2). A dedicated
- * overflow convention is not needed because 64 buckets cover the full
- * uint64_t range.
+ * [2^n, 2^(n+1)), with bucket 0 counting values in [0, 2). Values whose
+ * natural bucket lies beyond the configured bucket count are clamped
+ * into the top bucket — a histogram never silently drops mass — and
+ * bucketOf() is constexpr so callers can prove at compile time that a
+ * sentinel value (e.g. the profiler's cold-access marker) lands in a
+ * real bucket of its configured histogram.
  */
 
 #ifndef BP_SUPPORT_HISTOGRAM_H
 #define BP_SUPPORT_HISTOGRAM_H
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -24,10 +28,26 @@ class Pow2Histogram
     explicit Pow2Histogram(unsigned max_buckets = 40);
 
     /** Map a value to its bucket index (floor(log2(value)), 0 for 0/1). */
-    static unsigned bucketOf(uint64_t value);
+    static constexpr unsigned
+    bucketOf(uint64_t value)
+    {
+        if (value < 2)
+            return 0;
+        return 63 - static_cast<unsigned>(std::countl_zero(value));
+    }
 
-    /** Record one observation of @p value with weight @p count. */
-    void add(uint64_t value, uint64_t count = 1);
+    /**
+     * Record one observation of @p value with weight @p count.
+     * Values beyond the last bucket's range clamp into the top bucket.
+     */
+    void
+    add(uint64_t value, uint64_t count = 1)
+    {
+        unsigned idx = bucketOf(value);
+        if (idx >= buckets_.size())
+            idx = static_cast<unsigned>(buckets_.size()) - 1;
+        buckets_[idx] += count;
+    }
 
     /** Add another histogram bucket-wise. */
     void merge(const Pow2Histogram &other);

@@ -104,6 +104,21 @@ TEST(ReuseDistanceTest, CompactionPreservesDistances)
         ASSERT_EQ(c.access(i), lines - 1);
 }
 
+TEST(ReuseDistanceTest, ColdMarkerLandsInARealLdvBucket)
+{
+    // The cold-access sentinel must map into the LDV's bucket range
+    // on its own merits (static_assert'd in region_profiler.h); this
+    // pins the actual bucket so the sentinel cannot drift into the
+    // clamp-absorbing top bucket unnoticed.
+    EXPECT_EQ(Pow2Histogram::bucketOf(kColdDistanceMarker), 38u);
+    EXPECT_LT(Pow2Histogram::bucketOf(kColdDistanceMarker),
+              kLdvBuckets - 1);
+    Pow2Histogram ldv(kLdvBuckets);
+    ldv.add(kColdDistanceMarker);
+    EXPECT_EQ(ldv.bucket(38), 1u);
+    EXPECT_EQ(ldv.bucket(kLdvBuckets - 1), 0u);
+}
+
 // ------------------------------------------------------------ MruTracker
 
 TEST(MruTrackerTest, SnapshotOrderIsLruToMru)

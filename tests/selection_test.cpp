@@ -122,6 +122,64 @@ TEST(SelectionTest, ZeroInstructionClusterStillGetsABarrierPoint)
     EXPECT_FALSE(analysis.points[j1].significant);
 }
 
+TEST(SelectionTest, ZeroInstructionRepresentativeIsReplaced)
+{
+    // Region 0 sits exactly on the centroid but ran no instructions
+    // (an empty inter-barrier region). Picking it as representative
+    // gives multiplier 0 and drops the cluster's 100 instructions
+    // from every reconstructed Estimate. The selection must prefer a
+    // member that can carry the mass.
+    const std::vector<std::vector<double>> points{{0.0}, {0.2}};
+    const std::vector<uint64_t> instr{0, 100};
+    ClusteringResult clustering;
+    clustering.best.k = 1;
+    clustering.best.assignment = {0, 0};
+    clustering.best.centroids = {{0.0}};
+    const auto analysis = selectBarrierPoints(clustering, points, instr);
+
+    ASSERT_EQ(analysis.points.size(), 1u);
+    EXPECT_EQ(analysis.points[0].region, 1u);
+    EXPECT_EQ(analysis.points[0].instructions, 100u);
+    // The whole cluster mass is reconstructable again.
+    EXPECT_NEAR(analysis.points[0].multiplier *
+                    static_cast<double>(analysis.points[0].instructions),
+                100.0, 1e-9);
+}
+
+TEST(SelectionTest, ZeroInstructionReplacementKeepsMedianTiePolicy)
+{
+    // Three equally-near nonzero members: the median one (by region
+    // index) represents, matching the primary near-tie policy.
+    const std::vector<std::vector<double>> points{{0.0}, {0.2}, {0.2},
+                                                  {0.2}};
+    const std::vector<uint64_t> instr{0, 50, 50, 50};
+    ClusteringResult clustering;
+    clustering.best.k = 1;
+    clustering.best.assignment = {0, 0, 0, 0};
+    clustering.best.centroids = {{0.0}};
+    const auto analysis = selectBarrierPoints(clustering, points, instr);
+    ASSERT_EQ(analysis.points.size(), 1u);
+    EXPECT_EQ(analysis.points[0].region, 2u);
+}
+
+TEST(SelectionTest, AllZeroClusterFallsBackCleanly)
+{
+    // When every member ran zero instructions there is no mass to
+    // save: the distance-based pick stands and the point is
+    // weightless, exactly as before.
+    const std::vector<std::vector<double>> points{{0.0}, {0.2}, {9.0}};
+    const std::vector<uint64_t> instr{0, 0, 100};
+    ClusteringResult clustering;
+    clustering.best.k = 2;
+    clustering.best.assignment = {0, 0, 1};
+    clustering.best.centroids = {{0.0}, {9.0}};
+    const auto analysis = selectBarrierPoints(clustering, points, instr);
+    ASSERT_EQ(analysis.points.size(), 2u);
+    EXPECT_EQ(analysis.points[0].region, 0u);
+    EXPECT_DOUBLE_EQ(analysis.points[0].multiplier, 0.0);
+    EXPECT_DOUBLE_EQ(analysis.points[0].weightFraction, 0.0);
+}
+
 TEST(SelectionTest, UnassignedClusterIsSkipped)
 {
     // k-means can leave a centroid with no members at all; such a

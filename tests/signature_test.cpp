@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 #include "src/core/signature.h"
 
@@ -195,6 +196,48 @@ TEST(SignatureTest, SquaredDistance)
 {
     EXPECT_DOUBLE_EQ(squaredDistance({0.0, 0.0}, {3.0, 4.0}), 25.0);
     EXPECT_DOUBLE_EQ(squaredDistance({1.0}, {1.0}), 0.0);
+}
+
+TEST(SignatureTest, FeatureIdsNeverCollideAcrossSpacesAtMaxInputs)
+{
+    // Feature ids pack |space (bit 62)|thread (30 bits)|key (32 bits)|.
+    // Drive the packing at its extremes — the widest thread slot the
+    // library supports (64 concatenated threads) and the largest
+    // 32-bit basic-block id — and require the BBV and LDV halves of a
+    // combined signature to stay disjoint: a field overflowing its
+    // width would leak into a neighbouring field and merge unrelated
+    // features.
+    const unsigned threads = 64;
+    RegionProfile p = profileWith(threads);
+    const uint32_t max_bb = 0xFFFFFFFFu;
+    for (unsigned t = 0; t < threads; ++t) {
+        p.threads[t].bbv[max_bb] = 1;
+        p.threads[t].bbv[0] = 1;
+        p.threads[t].ldv.add(0, 1);                  // bucket 0
+        p.threads[t].ldv.add(1ull << 39, 1);         // top bucket
+    }
+    SignatureConfig cfg;
+    cfg.kind = SignatureKind::Combined;
+    cfg.concatenateThreads = true;
+    const auto sig = buildSignature(p, cfg);
+
+    // 2 BBV ids + 2 LDV ids per thread, all distinct.
+    EXPECT_EQ(sig.features.size(), 4u * threads);
+    std::set<uint64_t> bbv_ids, ldv_ids;
+    for (const auto &[id, value] : sig.features) {
+        if (id & (1ull << 62))
+            ldv_ids.insert(id);
+        else
+            bbv_ids.insert(id);
+    }
+    EXPECT_EQ(bbv_ids.size(), 2u * threads);
+    EXPECT_EQ(ldv_ids.size(), 2u * threads);
+    for (const uint64_t id : bbv_ids)
+        EXPECT_EQ(ldv_ids.count(id), 0u);
+    // The thread field tops out below the space bit: even the highest
+    // thread slot with the highest key stays inside bits [0, 62).
+    for (const uint64_t id : bbv_ids)
+        EXPECT_LT(id, 1ull << 62);
 }
 
 } // namespace
