@@ -11,18 +11,29 @@
  * see bench/legacy_profile_reference.h, shared with the bit-identity
  * test suite) over identical recorded streams.
  *
+ * A fourth race pins down SHARDS sampling (reuse_sampled): the exact
+ * collector vs SampledReuseDistanceCollector at rate 0.01 over the
+ * same line stream, with the reuse-distance *work* reduction (exact
+ * vs sampled tracked accesses — deterministic for a fixed seed) and
+ * the rate-corrected LDV's total-variation error recorded alongside
+ * the wall-clock speedup.
+ *
  * Usage:
  *   perf_profile [--ops N] [--json [FILE]] [--check-speedup X]
+ *                [--check-work-reduction X]
  *
  * `--json` emits the numbers machine-readably (stdout, or FILE) so CI
  * can archive a perf trajectory across PRs; `--check-speedup X` exits
- * nonzero when the end-to-end profile speedup falls below X (used
- * locally to enforce the >= 2x acceptance bar; CI runners are too
- * noisy to gate on).
+ * nonzero when the end-to-end profile or sampled-reuse speedup falls
+ * below X (used locally to enforce the >= 2x acceptance bar; CI
+ * runners are too noisy to gate on). `--check-work-reduction X` gates
+ * the sampled race's work reduction instead — a deterministic count,
+ * safe to enforce in CI.
  */
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -31,6 +42,7 @@
 
 #include "bench/legacy_profile_reference.h"
 #include "src/profile/region_profiler.h"
+#include "src/profile/sampled_reuse_distance.h"
 #include "src/support/rng.h"
 #include "src/trace/region_trace.h"
 
@@ -121,6 +133,10 @@ struct Result
     double legacySec;
     double newSec;
     uint64_t ops;
+    /** reuse_sampled only: exact / sampled tracked accesses (0 = n/a). */
+    double workReduction = 0.0;
+    /** reuse_sampled only: LDV total-variation error vs exact (<0 = n/a). */
+    double ldvError = -1.0;
 
     double legacyMops() const { return ops / legacySec / 1e6; }
     double newMops() const { return ops / newSec / 1e6; }
@@ -157,6 +173,84 @@ benchReuse(const std::vector<Access> &stream)
         std::exit(1);
     }
     return {"reuse_distance", legacy_sec, new_sec, lines.size()};
+}
+
+/**
+ * SHARDS race: the exact collector vs rate-0.01 sampling over the
+ * same line stream. "legacy" is exact, "new" is sampled. Beyond wall
+ * clock, an untimed metrics pass records the work reduction (exact /
+ * sampled tracked accesses — both deterministic for a fixed stream)
+ * and the rate-corrected LDV's total-variation distance from exact.
+ */
+Result
+benchSampledReuse(const std::vector<Access> &stream)
+{
+    constexpr double kRate = 0.01;
+    std::vector<uint64_t> lines;
+    for (const Access &access : stream)
+        if (access.mem)
+            lines.push_back(access.line);
+
+    const auto [exact_sec, exact_sum] = timeBest([&] {
+        ReuseDistanceCollector collector;
+        uint64_t sum = 0;
+        for (const uint64_t line : lines)
+            sum += collector.access(line);
+        return sum;
+    });
+    const auto [sampled_sec, sampled_sum] = timeBest([&] {
+        SampledReuseDistanceCollector collector(
+            ProfilingConfig::sampled(kRate));
+        uint64_t sum = 0;
+        for (const uint64_t line : lines) {
+            const auto sample = collector.access(line);
+            if (sample.sampled())
+                sum += sample.distance + sample.weight;
+        }
+        return sum;
+    });
+    (void)exact_sum;
+    (void)sampled_sum;
+
+    // Untimed metrics pass: LDVs and work counters for both paths.
+    ReuseDistanceCollector exact;
+    SampledReuseDistanceCollector sampled(ProfilingConfig::sampled(kRate));
+    Pow2Histogram exact_ldv(kLdvBuckets);
+    Pow2Histogram sampled_ldv(kLdvBuckets);
+    for (const uint64_t line : lines) {
+        const uint64_t distance = exact.access(line);
+        exact_ldv.add(distance == ReuseDistanceCollector::kCold
+                          ? kColdDistanceMarker
+                          : distance);
+        const auto sample = sampled.access(line);
+        if (sample.sampled()) {
+            sampled_ldv.add(
+                sample.distance == SampledReuseDistanceCollector::kCold
+                    ? kColdDistanceMarker
+                    : sample.distance,
+                sample.weight);
+        }
+    }
+
+    Result result{"reuse_sampled", exact_sec, sampled_sec, lines.size()};
+    result.workReduction = static_cast<double>(exact.accesses()) /
+        static_cast<double>(std::max<uint64_t>(1, sampled.sampledAccesses()));
+
+    // Total-variation distance between the normalized LDVs: 0 is a
+    // perfect match, 1 is disjoint mass.
+    double exact_total = 0.0, sampled_total = 0.0;
+    for (unsigned b = 0; b < kLdvBuckets; ++b) {
+        exact_total += static_cast<double>(exact_ldv.bucket(b));
+        sampled_total += static_cast<double>(sampled_ldv.bucket(b));
+    }
+    double tv = 0.0;
+    for (unsigned b = 0; b < kLdvBuckets; ++b) {
+        tv += std::abs(
+            static_cast<double>(exact_ldv.bucket(b)) / exact_total -
+            static_cast<double>(sampled_ldv.bucket(b)) / sampled_total);
+    }
+    result.ldvError = tv / 2.0;
+    return result;
 }
 
 /** Fold full MRU state — order and dirtiness — into a checksum, so
@@ -281,6 +375,7 @@ main(int argc, char **argv)
     bool json = false;
     std::string json_path;
     double check_speedup = 0.0;
+    double check_work_reduction = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
             ops = std::strtoull(argv[++i], nullptr, 10);
@@ -291,18 +386,24 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--check-speedup") &&
                    i + 1 < argc) {
             check_speedup = std::strtod(argv[++i], nullptr);
+        } else if (!std::strcmp(argv[i], "--check-work-reduction") &&
+                   i + 1 < argc) {
+            check_work_reduction = std::strtod(argv[++i], nullptr);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--ops N] [--json [FILE]] "
-                         "[--check-speedup X]\n",
+                         "[--check-speedup X] "
+                         "[--check-work-reduction X]\n",
                          argv[0]);
             return 2;
         }
     }
 
     const std::vector<Access> stream = recordStream(ops, 0xB477E7);
+    const Result sampled = benchSampledReuse(stream);
     const std::vector<Result> results{benchReuse(stream),
                                       benchMru(stream),
+                                      sampled,
                                       benchProfile(stream)};
 
     std::printf("%-16s %14s %14s %9s\n", "benchmark", "legacy Mops/s",
@@ -311,6 +412,9 @@ main(int argc, char **argv)
         std::printf("%-16s %14.2f %14.2f %8.2fx\n", r.name.c_str(),
                     r.legacyMops(), r.newMops(), r.speedup());
     }
+    std::printf("reuse_sampled: %.1fx less reuse-distance work, LDV "
+                "error %.4f\n",
+                sampled.workReduction, sampled.ldvError);
 
     if (json) {
         FILE *out = stdout;
@@ -329,9 +433,16 @@ main(int argc, char **argv)
             std::fprintf(out,
                          "    {\"name\": \"%s\", \"ops\": %llu, "
                          "\"legacy_mops\": %.3f, \"new_mops\": %.3f, "
-                         "\"speedup\": %.3f}%s\n",
+                         "\"speedup\": %.3f",
                          r.name.c_str(), (unsigned long long)r.ops,
-                         r.legacyMops(), r.newMops(), r.speedup(),
+                         r.legacyMops(), r.newMops(), r.speedup());
+            if (r.workReduction > 0.0) {
+                std::fprintf(out,
+                             ", \"work_reduction\": %.3f, "
+                             "\"ldv_error\": %.5f",
+                             r.workReduction, r.ldvError);
+            }
+            std::fprintf(out, "}%s\n",
                          i + 1 < results.size() ? "," : "");
         }
         std::fprintf(out, "  ]\n}\n");
@@ -348,6 +459,21 @@ main(int argc, char **argv)
                          profile_speedup, check_speedup);
             return 1;
         }
+        if (sampled.speedup() < check_speedup) {
+            std::fprintf(stderr,
+                         "reuse_sampled speedup %.2fx below the "
+                         "required %.2fx\n",
+                         sampled.speedup(), check_speedup);
+            return 1;
+        }
+    }
+    if (check_work_reduction > 0.0 &&
+        sampled.workReduction < check_work_reduction) {
+        std::fprintf(stderr,
+                     "reuse_sampled work reduction %.1fx below the "
+                     "required %.1fx\n",
+                     sampled.workReduction, check_work_reduction);
+        return 1;
     }
     return 0;
 }

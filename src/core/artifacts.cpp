@@ -8,6 +8,27 @@ namespace bp {
 namespace {
 
 void
+serializeProfilingConfig(Serializer &s, const ProfilingConfig &profiling)
+{
+    s.u32(static_cast<uint32_t>(profiling.mode));
+    s.f64(profiling.rate);
+    s.u64(profiling.sMax);
+}
+
+ProfilingConfig
+deserializeProfilingConfig(Deserializer &d)
+{
+    ProfilingConfig profiling;
+    const uint32_t mode = d.u32();
+    if (mode > static_cast<uint32_t>(ProfilingMode::SampledAdaptive))
+        throw SerializeError("unknown profiling mode");
+    profiling.mode = static_cast<ProfilingMode>(mode);
+    profiling.rate = d.f64();
+    profiling.sMax = d.u64();
+    return profiling;
+}
+
+void
 serializeMruEntry(Serializer &s, const MruEntry &entry)
 {
     s.u64(entry.line);
@@ -109,6 +130,15 @@ optionsHash(const BarrierPointOptions &options)
     s.f64(options.clustering.bicThreshold);
     s.u64(options.clustering.seed);
     s.f64(options.significance);
+    serializeProfilingConfig(s, options.profiling);
+    return fnv1aHash(s.buffer().data(), s.buffer().size());
+}
+
+uint64_t
+profilingHash(const ProfilingConfig &profiling)
+{
+    Serializer s;
+    serializeProfilingConfig(s, profiling);
     return fnv1aHash(s.buffer().data(), s.buffer().size());
 }
 
@@ -135,6 +165,7 @@ saveArtifact(const std::string &path, const ProfileArtifact &artifact)
 {
     Serializer s;
     artifact.workload.serialize(s);
+    serializeProfilingConfig(s, artifact.profiling);
     s.size(artifact.profiles.size());
     for (const RegionProfile &profile : artifact.profiles)
         profile.serialize(s);
@@ -148,6 +179,7 @@ loadProfileArtifact(const std::string &path)
         path, static_cast<uint32_t>(ArtifactKind::Profile));
     ProfileArtifact artifact;
     artifact.workload.deserialize(d);
+    artifact.profiling = deserializeProfilingConfig(d);
     artifact.profiles.resize(d.size());
     for (RegionProfile &profile : artifact.profiles)
         profile.deserialize(d);

@@ -85,10 +85,21 @@ struct WorkloadSpec
  */
 uint64_t optionsHash(const BarrierPointOptions &options);
 
+/**
+ * Content hash of the profiling knob alone: exact and SHARDS-sampled
+ * profiles of the same workload are different data and must never
+ * collide in a cache. bp::Experiment keys profile file names on it
+ * (the exact config hashes to a stable value all pre-knob profiles
+ * implicitly had).
+ */
+uint64_t profilingHash(const ProfilingConfig &profiling);
+
 /** Output of `bp profile`: the one-time profiling pass. */
 struct ProfileArtifact
 {
     WorkloadSpec workload;
+    /** The reuse-distance mode the profiles were collected under. */
+    ProfilingConfig profiling;
     std::vector<RegionProfile> profiles;  ///< indexed by region
 };
 

@@ -61,6 +61,7 @@ Experiment::Experiment(WorkloadSpec spec, Config config,
     : owned_(spec.instantiate()), workload_(owned_.get()),
       spec_(std::move(spec)), config_(std::move(config)),
       exec_(std::move(exec)), optionsHash_(bp::optionsHash(config_.options)),
+      profilingHash_(bp::profilingHash(config_.options.profiling)),
       stem_(sanitizeName(spec_.name) + "-" + hex16(spec_.hash()))
 {}
 
@@ -70,6 +71,7 @@ Experiment::Experiment(std::unique_ptr<Workload> workload, Config config,
       spec_(WorkloadSpec::describe(*workload_)),
       config_(std::move(config)), exec_(std::move(exec)),
       optionsHash_(bp::optionsHash(config_.options)),
+      profilingHash_(bp::profilingHash(config_.options.profiling)),
       stem_(sanitizeName(spec_.name) + "-" + hex16(spec_.hash()))
 {}
 
@@ -78,6 +80,7 @@ Experiment::Experiment(const Workload &workload, Config config,
     : workload_(&workload), spec_(WorkloadSpec::describe(workload)),
       config_(std::move(config)), exec_(std::move(exec)),
       optionsHash_(bp::optionsHash(config_.options)),
+      profilingHash_(bp::profilingHash(config_.options.profiling)),
       stem_(sanitizeName(spec_.name) + "-" + hex16(spec_.hash()))
 {}
 
@@ -116,7 +119,8 @@ Experiment::artifactPath(const std::string &leaf) const
 std::string
 Experiment::profilePath() const
 {
-    return artifactPath(stem_ + ".profile.bp");
+    return artifactPath(stem_ + "-p" + hex16(profilingHash_) +
+                        ".profile.bp");
 }
 
 std::string
@@ -178,6 +182,13 @@ Experiment::tryLoadProfiles(const std::string &path)
                  path.c_str());
             return false;
         }
+        if (artifact.profiling != config_.options.profiling) {
+            warn("profile artifact %s was collected under profiling "
+                 "mode %s but this experiment wants %s; recomputing",
+                 path.c_str(), artifact.profiling.describe().c_str(),
+                 config_.options.profiling.describe().c_str());
+            return false;
+        }
         if (artifact.profiles.size() != workload_->regionCount()) {
             warn("profile artifact %s holds %zu regions but the workload "
                  "has %u; recomputing",
@@ -203,11 +214,13 @@ Experiment::profiles()
     if (!path.empty() && tryLoadProfiles(path))
         return *profiles_;
 
-    profiles_ = profileWorkload(*workload_, exec_);
+    profiles_ =
+        profileWorkload(*workload_, config_.options.profiling, exec_);
     if (!path.empty()) {
         ensureArtifactDir();
         ProfileArtifact artifact;
         artifact.workload = spec_;
+        artifact.profiling = config_.options.profiling;
         saveLending(path, artifact, *profiles_,
                     &ProfileArtifact::profiles);
     }
@@ -390,6 +403,7 @@ Experiment::exportProfiles(const std::string &path)
     profiles();
     ProfileArtifact artifact;
     artifact.workload = spec_;
+    artifact.profiling = config_.options.profiling;
     saveLending(path, artifact, *profiles_, &ProfileArtifact::profiles);
 }
 

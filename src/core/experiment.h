@@ -232,6 +232,9 @@ class Experiment
     Config config_;
     ExecutionContext exec_;
     uint64_t optionsHash_ = 0;
+    /** Hash of options.profiling alone: keys the profile artifact, so
+     *  sampled and exact profiles never collide in the cache. */
+    uint64_t profilingHash_ = 0;
     std::string stem_;  ///< artifact-name prefix (workload + spec hash)
     bool artifactDirReady_ = false;
     /** True once any stage was seeded: derived stages then bypass the

@@ -21,9 +21,16 @@ warmupPolicyName(WarmupPolicy policy)
 std::vector<RegionProfile>
 profileWorkload(const Workload &workload, const ExecutionContext &exec)
 {
+    return profileWorkload(workload, ProfilingConfig{}, exec);
+}
+
+std::vector<RegionProfile>
+profileWorkload(const Workload &workload, const ProfilingConfig &profiling,
+                const ExecutionContext &exec)
+{
     ThreadPool &pool = exec.pool();
     const unsigned regions = workload.regionCount();
-    RegionProfiler profiler(workload.threadCount());
+    RegionProfiler profiler(workload.threadCount(), 0, profiling);
     std::vector<RegionProfile> profiles;
     profiles.reserve(regions);
 
@@ -137,7 +144,8 @@ BarrierPointAnalysis
 analyzeWorkload(const Workload &workload, const BarrierPointOptions &options,
                 const ExecutionContext &exec)
 {
-    return analyzeProfiles(profileWorkload(workload, exec), options, exec);
+    return analyzeProfiles(
+        profileWorkload(workload, options.profiling, exec), options, exec);
 }
 
 RunResult

@@ -58,6 +58,8 @@ struct BarrierPointOptions
 {
     SignatureConfig signature;
     ClusteringConfig clustering;
+    /** Reuse-distance collection mode (exact, or SHARDS-sampled). */
+    ProfilingConfig profiling;
     double significance = 0.001;  ///< Table III's 0.1 % threshold
     unsigned threads = 1;         ///< pipeline workers (0 = hardware)
 };
@@ -71,6 +73,16 @@ struct BarrierPointOptions
  * serially. Pass a thread count or a shared ThreadPool.
  */
 std::vector<RegionProfile> profileWorkload(const Workload &workload,
+                                           const ExecutionContext &exec = {});
+
+/**
+ * As above with an explicit reuse-distance mode: the default-config
+ * overload is exact and byte-identical to pre-knob profiles; SHARDS
+ * modes trade a bounded LDV error for ~1/rate less stack-distance
+ * work (see profile/profiling_config.h).
+ */
+std::vector<RegionProfile> profileWorkload(const Workload &workload,
+                                           const ProfilingConfig &profiling,
                                            const ExecutionContext &exec = {});
 
 /** Build and project signatures for a set of region profiles. */

@@ -1,0 +1,38 @@
+#include "src/profile/profiling_config.h"
+
+#include <cstdio>
+
+namespace bp {
+
+const char *
+profilingModeName(ProfilingMode mode)
+{
+    switch (mode) {
+    case ProfilingMode::Exact:
+        return "exact";
+    case ProfilingMode::Sampled:
+        return "sampled";
+    case ProfilingMode::SampledAdaptive:
+        return "sampled_adaptive";
+    }
+    return "exact";
+}
+
+std::string
+ProfilingConfig::describe() const
+{
+    switch (mode) {
+    case ProfilingMode::Sampled: {
+        char buffer[64];
+        std::snprintf(buffer, sizeof buffer, "sampled:%g", rate);
+        return buffer;
+    }
+    case ProfilingMode::SampledAdaptive:
+        return "sampled_adaptive:" + std::to_string(sMax);
+    case ProfilingMode::Exact:
+        break;
+    }
+    return "exact";
+}
+
+} // namespace bp

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Profiling-mode knob: exact vs SHARDS-sampled reuse distances.
+ *
+ * Exact Mattson stack distances pay a Fenwick-tree update per memory
+ * access plus footprint-proportional tables — the dominant profiling
+ * cost at large footprints. SHARDS-style spatial sampling
+ * (Waldspurger et al., FAST'15) tracks a line iff
+ * `flatHash(line) <= threshold`, i.e. a deterministic, seed-free,
+ * order-independent pseudo-random subset at rate
+ * R = (threshold + 1) / 2^64, and rate-corrects the sampled
+ * distances and counts by 1/R. Because the subset is a property of
+ * the line value alone, the sampled profile is bit-identical for any
+ * worker count and any access interleaving across regions.
+ *
+ * Three modes:
+ *   - Exact: the default; byte-identical to the pre-knob profiler.
+ *   - Sampled(rate): fixed rate R; memory scales with R * footprint.
+ *   - SampledAdaptive(sMax): SHARDS s_max — keep the sMax smallest
+ *     line hashes (max-heap) and lower the threshold as it evicts,
+ *     bounding tracked lines (and so the Fenwick/index tables)
+ *     regardless of footprint.
+ *
+ * The config is part of every profile's cache identity: artifacts
+ * embed it, content hashes include it, and sampled and exact profiles
+ * never collide in the Experiment artifact cache.
+ */
+
+#ifndef BP_PROFILE_PROFILING_CONFIG_H
+#define BP_PROFILE_PROFILING_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/support/logging.h"
+
+namespace bp {
+
+/** How reuse distances are collected. */
+enum class ProfilingMode : uint32_t {
+    Exact = 0,           ///< full Mattson stack distances (default)
+    Sampled = 1,         ///< SHARDS fixed-rate spatial sampling
+    SampledAdaptive = 2, ///< SHARDS s_max: bounded tracked-line budget
+};
+
+/** @return stable spelling: "exact", "sampled", "sampled_adaptive". */
+const char *profilingModeName(ProfilingMode mode);
+
+/**
+ * The exact collector's Fenwick nodes are 32-bit: partial sums are
+ * bounded by the tracked footprint, so the footprint (and the
+ * adaptive mode's line budget) must stay below INT32_MAX positions.
+ * Asserted at runtime in the collectors and at config construction.
+ */
+constexpr uint64_t kMaxTrackedLines = INT32_MAX;
+
+/** Reuse-distance collection knob; see the file comment. */
+struct ProfilingConfig
+{
+    ProfilingMode mode = ProfilingMode::Exact;
+    /** Sampling rate R in (0, 1]; meaningful in Sampled mode only. */
+    double rate = 1.0;
+    /** Tracked-line budget; meaningful in SampledAdaptive mode only. */
+    uint64_t sMax = 0;
+
+    bool operator==(const ProfilingConfig &) const = default;
+
+    bool exactMode() const { return mode == ProfilingMode::Exact; }
+
+    /** The default exact configuration. */
+    static ProfilingConfig
+    exact()
+    {
+        return {};
+    }
+
+    /** Fixed-rate sampling; @p rate must lie in (0, 1]. */
+    static ProfilingConfig
+    sampled(double rate)
+    {
+        BP_ASSERT(rate > 0.0 && rate <= 1.0,
+                  "sampling rate must lie in (0, 1]");
+        ProfilingConfig config;
+        config.mode = ProfilingMode::Sampled;
+        config.rate = rate;
+        return config;
+    }
+
+    /** Adaptive sampling bounded to @p s_max tracked lines. */
+    static ProfilingConfig
+    sampledAdaptive(uint64_t s_max)
+    {
+        BP_ASSERT(s_max >= 1 && s_max <= kMaxTrackedLines,
+                  "adaptive line budget must lie in [1, INT32_MAX]");
+        ProfilingConfig config;
+        config.mode = ProfilingMode::SampledAdaptive;
+        config.sMax = s_max;
+        return config;
+    }
+
+    /** "exact", "sampled:0.01", "sampled_adaptive:8192" (CLI form). */
+    std::string describe() const;
+};
+
+} // namespace bp
+
+#endif // BP_PROFILE_PROFILING_CONFIG_H

@@ -93,11 +93,18 @@ RegionProfile::deserialize(Deserializer &d)
 }
 
 RegionProfiler::RegionProfiler(unsigned threads,
-                               uint64_t mru_capacity_lines)
-    : threads_(threads)
+                               uint64_t mru_capacity_lines,
+                               const ProfilingConfig &profiling)
+    : threads_(threads), profiling_(profiling)
 {
     BP_ASSERT(threads_ >= 1, "profiler needs at least one thread");
-    reuse_.resize(threads_);
+    if (profiling_.exactMode()) {
+        reuse_.resize(threads_);
+    } else {
+        sampledReuse_.reserve(threads_);
+        for (unsigned t = 0; t < threads_; ++t)
+            sampledReuse_.emplace_back(profiling_);
+    }
     bbvScratch_.resize(threads_);
     if (mru_capacity_lines > 0) {
         mru_.reserve(threads_);
@@ -119,57 +126,156 @@ RegionProfiler::profileRegion(const RegionTrace &region, ThreadPool *pool)
     // Thread t touches only reuse_[t], mru_[t], bbvScratch_[t] and
     // profile.threads[t].
     parallelFor(pool, 0, threads_, [&](uint64_t t) {
-        ThreadProfile &thread_profile = profile.threads[t];
-        ReuseDistanceCollector &reuse = reuse_[t];
-        MruTracker *mru = mru_.empty() ? nullptr : &mru_[t];
-        FlatMap<uint64_t> &bbv = bbvScratch_[t];
-        bbv.clear();
-
-        const std::vector<MicroOp> &ops = region.thread(t);
-        uint64_t lookahead_hash = 0;
-        size_t lookahead_index = SIZE_MAX;
-        for (size_t i = 0; i < ops.size(); ++i) {
-            const MicroOp &op = ops[i];
-            ++thread_profile.instructions;
-            ++*bbv.insert(op.bb).first;
-            if (!op.isMem())
-                continue;
-            ++thread_profile.memOps;
-            const uint64_t line = lineOf(op.addr);
-            // One mix of the line shared by both probes (reusing the
-            // lookahead's hash when the previous iteration already
-            // computed it); the probes themselves are usually cache
-            // misses over footprint-sized tables, so start the MRU
-            // probe and the next access's probes now and let them
-            // overlap the reuse computation's Fenwick work.
-            const uint64_t hash = lookahead_index == i
-                ? lookahead_hash : flatHash(line);
-            if (mru)
-                mru->prefetch(hash);
-            if (i + 1 < ops.size() && ops[i + 1].isMem()) {
-                lookahead_hash = flatHash(lineOf(ops[i + 1].addr));
-                lookahead_index = i + 1;
-                reuse.prefetch(lookahead_hash);
-                if (mru)
-                    mru->prefetch(lookahead_hash);
-            }
-            const uint64_t distance = reuse.access(line, hash);
-            if (distance == ReuseDistanceCollector::kCold) {
-                ++thread_profile.coldAccesses;
-                thread_profile.ldv.add(kColdDistanceMarker);
-            } else {
-                thread_profile.ldv.add(distance);
-            }
-            if (mru)
-                mru->access(line, op.kind == OpKind::Store, hash);
-        }
-
-        thread_profile.bbv.reserve(bbv.size());
-        bbv.forEach([&](uint64_t bb, uint64_t count) {
-            thread_profile.bbv.emplace(static_cast<uint32_t>(bb), count);
-        });
+        if (profiling_.exactMode())
+            profileThreadExact(region, t, profile.threads[t]);
+        else
+            profileThreadSampled(region, t, profile.threads[t]);
     });
     return profile;
+}
+
+void
+RegionProfiler::profileThreadExact(const RegionTrace &region, uint64_t t,
+                                   ThreadProfile &thread_profile)
+{
+    ReuseDistanceCollector &reuse = reuse_[t];
+    MruTracker *mru = mru_.empty() ? nullptr : &mru_[t];
+    FlatMap<uint64_t> &bbv = bbvScratch_[t];
+    bbv.clear();
+
+    const std::vector<MicroOp> &ops = region.thread(t);
+    uint64_t lookahead_hash = 0;
+    size_t lookahead_index = SIZE_MAX;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const MicroOp &op = ops[i];
+        ++thread_profile.instructions;
+        ++*bbv.insert(op.bb).first;
+        if (!op.isMem())
+            continue;
+        ++thread_profile.memOps;
+        const uint64_t line = lineOf(op.addr);
+        // One mix of the line shared by both probes (reusing the
+        // lookahead's hash when the previous iteration already
+        // computed it); the probes themselves are usually cache
+        // misses over footprint-sized tables, so start the MRU
+        // probe and the next access's probes now and let them
+        // overlap the reuse computation's Fenwick work.
+        const uint64_t hash = lookahead_index == i
+            ? lookahead_hash : flatHash(line);
+        if (mru)
+            mru->prefetch(hash);
+        if (i + 1 < ops.size() && ops[i + 1].isMem()) {
+            lookahead_hash = flatHash(lineOf(ops[i + 1].addr));
+            lookahead_index = i + 1;
+            reuse.prefetch(lookahead_hash);
+            if (mru)
+                mru->prefetch(lookahead_hash);
+        }
+        const uint64_t distance = reuse.access(line, hash);
+        if (distance == ReuseDistanceCollector::kCold) {
+            ++thread_profile.coldAccesses;
+            thread_profile.ldv.add(kColdDistanceMarker);
+        } else {
+            thread_profile.ldv.add(distance);
+        }
+        if (mru)
+            mru->access(line, op.kind == OpKind::Store, hash);
+    }
+
+    thread_profile.bbv.reserve(bbv.size());
+    bbv.forEach([&](uint64_t bb, uint64_t count) {
+        thread_profile.bbv.emplace(static_cast<uint32_t>(bb), count);
+    });
+}
+
+void
+RegionProfiler::profileThreadSampled(const RegionTrace &region, uint64_t t,
+                                     ThreadProfile &thread_profile)
+{
+    // Same structure as the exact loop; the reuse probe is replaced
+    // by the SHARDS filter-then-track collector and each admitted
+    // access lands in the LDV with its rate-correction weight, so the
+    // histogram approximates the exact path's mass. The sampling
+    // predicate depends only on the shared per-access hash, making
+    // the filter free and the output independent of thread count.
+    SampledReuseDistanceCollector &reuse = sampledReuse_[t];
+    MruTracker *mru = mru_.empty() ? nullptr : &mru_[t];
+    FlatMap<uint64_t> &bbv = bbvScratch_[t];
+    bbv.clear();
+
+    const std::vector<MicroOp> &ops = region.thread(t);
+    uint64_t lookahead_hash = 0;
+    size_t lookahead_index = SIZE_MAX;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const MicroOp &op = ops[i];
+        ++thread_profile.instructions;
+        ++*bbv.insert(op.bb).first;
+        if (!op.isMem())
+            continue;
+        ++thread_profile.memOps;
+        const uint64_t line = lineOf(op.addr);
+        const uint64_t hash = lookahead_index == i
+            ? lookahead_hash : flatHash(line);
+        if (mru)
+            mru->prefetch(hash);
+        if (i + 1 < ops.size() && ops[i + 1].isMem()) {
+            lookahead_hash = flatHash(lineOf(ops[i + 1].addr));
+            lookahead_index = i + 1;
+            reuse.prefetch(lookahead_hash);
+            if (mru)
+                mru->prefetch(lookahead_hash);
+        }
+        const auto sample = reuse.access(line, hash);
+        if (sample.sampled()) {
+            if (sample.distance == SampledReuseDistanceCollector::kCold) {
+                thread_profile.coldAccesses += sample.weight;
+                thread_profile.ldv.add(kColdDistanceMarker,
+                                       sample.weight);
+            } else {
+                thread_profile.ldv.add(sample.distance, sample.weight);
+            }
+        }
+        if (mru)
+            mru->access(line, op.kind == OpKind::Store, hash);
+    }
+
+    thread_profile.bbv.reserve(bbv.size());
+    bbv.forEach([&](uint64_t bb, uint64_t count) {
+        thread_profile.bbv.emplace(static_cast<uint32_t>(bb), count);
+    });
+}
+
+uint64_t
+RegionProfiler::reuseAccesses() const
+{
+    uint64_t total = 0;
+    for (const auto &collector : reuse_)
+        total += collector.accesses();
+    for (const auto &collector : sampledReuse_)
+        total += collector.accesses();
+    return total;
+}
+
+uint64_t
+RegionProfiler::trackedReuseAccesses() const
+{
+    uint64_t total = 0;
+    for (const auto &collector : reuse_)
+        total += collector.accesses();
+    for (const auto &collector : sampledReuse_)
+        total += collector.sampledAccesses();
+    return total;
+}
+
+uint64_t
+RegionProfiler::trackedFootprint() const
+{
+    uint64_t total = 0;
+    for (const auto &collector : reuse_)
+        total += collector.footprint();
+    for (const auto &collector : sampledReuse_)
+        total += collector.footprint();
+    return total;
 }
 
 std::vector<std::vector<MruEntry>>

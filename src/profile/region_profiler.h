@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "src/profile/mru_tracker.h"
+#include "src/profile/profiling_config.h"
 #include "src/profile/reuse_distance.h"
+#include "src/profile/sampled_reuse_distance.h"
 #include "src/support/histogram.h"
 #include "src/trace/region_trace.h"
 
@@ -89,9 +91,13 @@ class RegionProfiler
      * @param threads            thread count of the traces to come
      * @param mru_capacity_lines per-core MRU capacity (0 disables
      *                           MRU tracking entirely)
+     * @param profiling          reuse-distance collection mode; the
+     *                           default (exact) is byte-identical to
+     *                           the pre-knob profiler
      */
     explicit RegionProfiler(unsigned threads,
-                            uint64_t mru_capacity_lines = 0);
+                            uint64_t mru_capacity_lines = 0,
+                            const ProfilingConfig &profiling = {});
 
     /**
      * Profile one region and advance the persistent LRU/MRU state.
@@ -114,9 +120,34 @@ class RegionProfiler
 
     unsigned threadCount() const { return threads_; }
 
+    const ProfilingConfig &profiling() const { return profiling_; }
+
+    /** @return memory accesses fed to reuse collection, all threads. */
+    uint64_t reuseAccesses() const;
+
+    /**
+     * @return accesses that paid exact stack-distance work (Fenwick
+     * updates / tracked-line probes). Equals reuseAccesses() in exact
+     * mode; the sampled modes' headline work reduction is the ratio.
+     */
+    uint64_t trackedReuseAccesses() const;
+
+    /** @return aggregate distinct lines currently tracked. */
+    uint64_t trackedFootprint() const;
+
   private:
+    /** One thread's exact-mode profiling of one region. */
+    void profileThreadExact(const RegionTrace &region, uint64_t t,
+                            ThreadProfile &thread_profile);
+
+    /** One thread's SHARDS-sampled profiling of one region. */
+    void profileThreadSampled(const RegionTrace &region, uint64_t t,
+                              ThreadProfile &thread_profile);
+
     unsigned threads_;
+    ProfilingConfig profiling_;
     std::vector<ReuseDistanceCollector> reuse_;
+    std::vector<SampledReuseDistanceCollector> sampledReuse_;
     std::vector<MruTracker> mru_;
     /** Per-thread BBV scratch, reused across regions (no allocation
      *  on the hot path once warm). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/profile/profiling_config.h"
 #include "src/support/logging.h"
 
 namespace bp {
@@ -62,11 +63,30 @@ ReuseDistanceCollector::access(uint64_t line, uint64_t hash)
 }
 
 void
+ReuseDistanceCollector::forget(uint64_t line, uint64_t hash)
+{
+    uint64_t *pos = lastPos_.find(line, hash);
+    if (!pos)
+        return;
+    tree_.add(*pos, -1);
+    live_[*pos] = 0;
+    lastPos_.erase(line, hash);
+}
+
+void
 ReuseDistanceCollector::compact(size_t new_capacity)
 {
     const uint64_t live_count = lastPos_.size();
     BP_ASSERT(new_capacity > live_count,
               "compaction target must exceed the live set");
+    // The Fenwick nodes are int32_t: liveness partial sums (and so
+    // the footprint) must stay below INT32_MAX positions. Compaction
+    // runs before the position space can outgrow the live set, so
+    // checking here bounds the footprint for the whole run. The
+    // adaptive sampled mode makes this bound structural (s_max <=
+    // kMaxTrackedLines); the exact path trips this assert first.
+    BP_ASSERT(live_count <= kMaxTrackedLines,
+              "footprint exceeds the 32-bit Fenwick position budget");
 
     // Order-preserving renumbering: a live position's new index is
     // the number of live positions before it, computed in one

@@ -56,6 +56,16 @@ class ReuseDistanceCollector
     /** Start the probe load for a line about to be accessed. */
     void prefetch(uint64_t hash) const { lastPos_.prefetch(hash); }
 
+    /**
+     * Drop @p line from the tracked set as if it were never accessed.
+     * Used by the adaptive sampled collector to evict lines whose
+     * hash falls above a lowered threshold. No-op when untracked.
+     */
+    void forget(uint64_t line) { forget(line, flatHash(line)); }
+
+    /** forget() with a caller-precomputed flatHash(line). */
+    void forget(uint64_t line, uint64_t hash);
+
     /** Forget all history. */
     void reset();
 

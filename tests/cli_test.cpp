@@ -145,6 +145,28 @@ TEST(CliTest, BadOptionValueIsAUsageError)
     EXPECT_NE(jobs.output.find("--jobs"), std::string::npos);
 }
 
+TEST(CliTest, BadProfilingValueIsAUsageError)
+{
+    // Out-of-range rates and malformed modes must exit 2 with a
+    // message, never trip an assertion inside ProfilingConfig.
+    for (const std::string bad :
+         {"sampled:0", "sampled:1.5", "sampled:-0.1", "sampled:abc",
+          "sampled", "sampled_adaptive:0", "sampled_adaptive:junk",
+          "bogus"}) {
+        const RunResult result =
+            runCli("profile --workload npb-is --profiling " + bad +
+                   " -o /dev/null");
+        EXPECT_EQ(result.exitCode, 2) << bad;
+        EXPECT_NE(result.output.find("profiling"), std::string::npos)
+            << bad;
+    }
+
+    // sweep shares the flag and the validation.
+    const RunResult sweep = runCli(
+        "sweep --workload npb-is --profiling sampled:2 -o /dev/null");
+    EXPECT_EQ(sweep.exitCode, 2);
+}
+
 TEST(CliTest, RuntimeFailuresExitOne)
 {
     // A missing artifact is a runtime failure, not a usage error.

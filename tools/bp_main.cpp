@@ -72,6 +72,7 @@ usageText()
         "commands:\n"
         "  profile    profile a workload's regions (one-time cost)\n"
         "               --workload NAME [--threads N] [--scale S] [--seed X]\n"
+        "               [--profiling exact|sampled:R|sampled_adaptive:S]\n"
         "               [--jobs J] -o FILE\n"
         "  analyze    select barrierpoints from a profile artifact\n"
         "               --profile FILE [--signature bbv|reuse_dist|combine]\n"
@@ -89,6 +90,7 @@ usageText()
         "               [--machines NAME,NAME,...] [--warmup mru|cold]\n"
         "               [--signature bbv|reuse_dist|combine] [--dim D]\n"
         "               [--max-k K] [--significance F] [--jobs J]\n"
+        "               [--profiling exact|sampled:R|sampled_adaptive:S]\n"
         "               [--artifacts DIR] [--reference yes]\n"
         "  help       print this message (also: bp --help)\n"
         "\n";
@@ -218,6 +220,54 @@ parseSignatureKind(const std::string &name)
                      "' (bbv, reuse_dist, combine)");
 }
 
+/**
+ * Parse `--profiling exact | sampled:R | sampled_adaptive:S`. Range
+ * violations are usage errors (exit 2), never assertion failures: the
+ * ProfilingConfig factories assert the same ranges, so every value is
+ * validated here first.
+ */
+ProfilingConfig
+parseProfilingConfig(const std::string &arg)
+{
+    if (arg == "exact")
+        return ProfilingConfig::exact();
+    const size_t colon = arg.find(':');
+    const std::string mode = arg.substr(0, colon);
+    const std::string value =
+        colon == std::string::npos ? "" : arg.substr(colon + 1);
+    if (mode == "sampled") {
+        char *end = nullptr;
+        const double rate =
+            value.empty() ? 0.0 : std::strtod(value.c_str(), &end);
+        if (value.empty() || end == value.c_str() || *end != '\0')
+            throw UsageError("--profiling sampled wants a rate "
+                             "(sampled:R), got '" +
+                             arg + "'");
+        if (!(rate > 0.0 && rate <= 1.0))
+            throw UsageError(
+                "--profiling sampling rate must lie in (0, 1], got '" +
+                value + "'");
+        return ProfilingConfig::sampled(rate);
+    }
+    if (mode == "sampled_adaptive" || mode == "adaptive") {
+        char *end = nullptr;
+        const unsigned long long s_max =
+            value.empty() ? 0 : std::strtoull(value.c_str(), &end, 10);
+        if (value.empty() || end == value.c_str() || *end != '\0')
+            throw UsageError("--profiling sampled_adaptive wants a line "
+                             "budget (sampled_adaptive:S), got '" +
+                             arg + "'");
+        if (s_max < 1 || s_max > kMaxTrackedLines)
+            throw UsageError("--profiling adaptive line budget must lie "
+                             "in [1, " +
+                             std::to_string(kMaxTrackedLines) +
+                             "], got '" + value + "'");
+        return ProfilingConfig::sampledAdaptive(s_max);
+    }
+    throw UsageError("unknown profiling mode '" + arg +
+                     "' (exact, sampled:R, sampled_adaptive:S)");
+}
+
 WarmupPolicy
 parseWarmupPolicy(const std::string &name)
 {
@@ -305,13 +355,18 @@ cmdProfile(const Args &args)
     const WorkloadSpec spec = workloadSpecFromArgs(args);
     const unsigned jobs = jobsFromArgs(args);
     const std::string out = args.required("--output");
+    Experiment::Config config;
+    config.options.profiling =
+        parseProfilingConfig(args.optional("--profiling", "exact"));
     args.finish();
 
-    Experiment experiment(spec, {}, ExecutionContext(jobs));
+    Experiment experiment(spec, config, ExecutionContext(jobs));
     experiment.exportProfiles(out);
     const auto &profiles = experiment.profiles();
-    std::printf("profiled %s: %zu regions, %llu instructions -> %s\n",
-                spec.name.c_str(), profiles.size(),
+    std::printf("profiled %s (%s): %zu regions, %llu instructions -> %s\n",
+                spec.name.c_str(),
+                config.options.profiling.describe().c_str(),
+                profiles.size(),
                 static_cast<unsigned long long>([&] {
                     uint64_t total = 0;
                     for (const auto &profile : profiles)
@@ -333,6 +388,10 @@ cmdAnalyze(const Args &args)
     args.finish();
 
     ProfileArtifact profile = loadProfileArtifact(in);
+    // The profiles carry the mode they were collected under; adopting
+    // it keys the analysis's options hash to the profiling knob, so a
+    // sampled-profile analysis can never be mistaken for exact.
+    config.options.profiling = profile.profiling;
     Experiment experiment(profile.workload, config, ExecutionContext(jobs));
     experiment.seedProfiles(std::move(profile.profiles));
     experiment.exportAnalysis(out);
@@ -511,6 +570,8 @@ cmdSweep(const Args &args)
     Experiment::Config config;
     const WorkloadSpec spec = workloadSpecFromArgs(args);
     config.options = analysisOptionsFromArgs(args);
+    config.options.profiling =
+        parseProfilingConfig(args.optional("--profiling", "exact"));
     config.artifactDir = args.optional("--artifacts", "");
     const WarmupPolicy policy =
         parseWarmupPolicy(args.optional("--warmup", "mru"));
