@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Coherence-directory memory footprint across machine widths: drives
+ * an identical sharing-heavy synthetic stream through MemSystem at 8
+ * to 1024 cores and reports live directory lines and bytes per line
+ * (MemSystem::dirFootprint()).
+ *
+ * This is the cost side of the SharerSet two-level representation:
+ * a flat CoreSet<1024> in every DirEntry would charge 128 bytes of
+ * sharer mask per line to every machine, including the 8-core one.
+ * The sparse sharded form keeps narrow machines at one shard and
+ * only grows on lines that are actually shared across sockets.
+ *
+ * Numbers are recorded in bench/BASELINE.md; regenerate with
+ * ./build/bench/perf_dir_footprint
+ */
+
+#include <cstdio>
+
+#include "src/memsys/mem_system.h"
+#include "src/support/rng.h"
+
+int
+main()
+{
+    using namespace bp;
+
+    std::printf("%8s %10s %12s %14s\n", "cores", "sockets",
+                "dir lines", "bytes/line");
+    for (const unsigned cores : {8u, 64u, 256u, 1024u}) {
+        MemSystemConfig cfg;
+        cfg.numCores = cores;
+        cfg.coresPerSocket = 8;
+        MemSystem mem(cfg);
+
+        // Same per-core access recipe at every width: a widely shared
+        // read-mostly region (directory entries with many sharers), a
+        // neighbour-shared band, and a private band per core. Streams
+        // scale with the core count, so wider machines hold more
+        // lines; bytes/line isolates the per-entry cost.
+        Rng rng(0xD17F007);
+        constexpr uint64_t kSharedLines = 4096;
+        constexpr uint64_t kPrivateLines = 512;
+        for (unsigned core = 0; core < cores; ++core) {
+            for (uint64_t i = 0; i < kSharedLines / 4; ++i) {
+                const uint64_t line = rng.nextBounded(kSharedLines);
+                mem.access(core, line * 64, rng.nextBounded(16) == 0,
+                           0.0);
+            }
+            for (uint64_t i = 0; i < kPrivateLines; ++i) {
+                const uint64_t line = (1u << 20) +
+                                      uint64_t{core} * kPrivateLines +
+                                      (i % kPrivateLines);
+                mem.access(core, line * 64, rng.nextBounded(4) == 0,
+                           0.0);
+            }
+        }
+
+        const auto fp = mem.dirFootprint();
+        std::printf("%8u %10u %12llu %14.1f\n", cores,
+                    cfg.numSockets(),
+                    static_cast<unsigned long long>(fp.lines),
+                    fp.bytesPerLine);
+    }
+    return 0;
+}

@@ -5,7 +5,7 @@
 #include <unordered_map>
 
 #include "src/profile/mru_tracker.h"
-#include "src/support/coremask.h"
+#include "src/support/core_set.h"
 #include "src/support/flat_map.h"
 #include "src/support/logging.h"
 #include "src/support/thread_pool.h"
@@ -157,22 +157,24 @@ runReference(const Workload &workload, const MachineConfig &machine)
                            });
 }
 
-MruSnapshotSet
-captureMruSnapshots(const Workload &workload,
-                    const std::vector<uint32_t> &regions,
-                    uint64_t capacity_lines, uint64_t private_lines)
-{
-    BP_ASSERT(capacity_lines > 0, "MRU capacity must be positive");
+namespace {
 
+/**
+ * The capture loop, templated on the holder-set width so the common
+ * <= 64-thread case keeps an 8-byte per-line coherence record (wider
+ * workloads pay only for the CoreSet capacity tier they need).
+ */
+template <unsigned Width>
+MruSnapshotSet
+captureMruSnapshotsWide(const Workload &workload,
+                        const std::vector<uint32_t> &regions,
+                        uint64_t capacity_lines, uint64_t private_lines)
+{
     MruSnapshotSet snapshots(regions.size());
-    if (regions.empty())
-        return snapshots;
 
     const uint32_t last =
         *std::max_element(regions.begin(), regions.end());
     const unsigned threads = workload.threadCount();
-    BP_ASSERT(threads <= kMaxCores,
-              "coherence holder mask supports at most 64 threads");
 
     // region -> snapshot slots wanting it, so per-region capture cost
     // does not scale with #barrierpoints x #regions.
@@ -189,12 +191,12 @@ captureMruSnapshots(const Workload &workload,
     // Coherence-aware capture: a write invalidates other cores'
     // retained copies; a read of another core's dirty line downgrades
     // it (its dirty data migrates to the LLC). Tracked with a holder
-    // mask and last-writer per line, in a flat probe table like the
+    // set and last-writer per line, in a flat probe table like the
     // trackers themselves (this loop is the other profiling-speed
     // path: it replays every memory access of the prefix).
     struct LineCoherence
     {
-        uint64_t holders = 0;
+        CoreSet<Width> holders;
         int16_t writer = -1;
     };
     FlatMap<LineCoherence> coherence;
@@ -233,14 +235,12 @@ captureMruSnapshots(const Workload &workload,
                 const uint64_t hash = flatHash(line);
                 LineCoherence &lc = *coherence.insert(line, hash).first;
                 if (write) {
-                    uint64_t others = lc.holders & ~coreBit(t);
-                    while (others) {
-                        const unsigned other = static_cast<unsigned>(
-                            std::countr_zero(others));
-                        others &= others - 1;
+                    CoreSet<Width> others = lc.holders;
+                    others.clear(t);
+                    others.forEachSetBit([&](unsigned other) {
                         trackers[other].invalidateLine(line);
-                    }
-                    lc.holders = coreBit(t);
+                    });
+                    lc.holders = CoreSet<Width>::single(t);
                     lc.writer = static_cast<int16_t>(t);
                 } else {
                     if (lc.writer >= 0 &&
@@ -248,13 +248,40 @@ captureMruSnapshots(const Workload &workload,
                         trackers[lc.writer].downgradeLine(line);
                         lc.writer = -1;
                     }
-                    lc.holders |= coreBit(t);
+                    lc.holders.set(t);
                 }
                 trackers[t].access(line, write, hash);
             }
         }
     }
     return snapshots;
+}
+
+} // namespace
+
+MruSnapshotSet
+captureMruSnapshots(const Workload &workload,
+                    const std::vector<uint32_t> &regions,
+                    uint64_t capacity_lines, uint64_t private_lines)
+{
+    BP_ASSERT(capacity_lines > 0, "MRU capacity must be positive");
+
+    if (regions.empty())
+        return MruSnapshotSet();
+
+    const unsigned threads = workload.threadCount();
+    BP_ASSERT(threads <= kMaxCores,
+              "coherence holder set supports at most kMaxCores threads");
+    if (threads <= 64) {
+        return captureMruSnapshotsWide<64>(workload, regions,
+                                           capacity_lines, private_lines);
+    }
+    if (threads <= 256) {
+        return captureMruSnapshotsWide<256>(workload, regions,
+                                            capacity_lines, private_lines);
+    }
+    return captureMruSnapshotsWide<kMaxCores>(workload, regions,
+                                              capacity_lines, private_lines);
 }
 
 MruSnapshotSet

@@ -75,8 +75,21 @@ MemSystem::MemSystem(const MemSystemConfig &config)
         fatal("core count must be in [1, %u], got %u", kMaxCores,
               config_.numCores);
     BP_ASSERT(config_.coresPerSocket >= 1, "need at least one core/socket");
-    BP_ASSERT(config_.numSockets() <= kMaxSockets,
-              "socket count exceeds the directory's socket mask");
+    // Every core's sharer bit must fit its socket's exact 64-bit
+    // shard: sockets are capped at kMaxCoresPerSocket cores, except
+    // that a single wide socket is fine as long as the whole machine
+    // fits one shard word anyway.
+    if (std::min(config_.coresPerSocket, config_.numCores) >
+        kMaxCoresPerSocket) {
+        fatal("sockets are limited to %u cores (got %u cores/socket on a "
+              "%u-core machine); split the machine into more sockets",
+              kMaxCoresPerSocket, config_.coresPerSocket, config_.numCores);
+    }
+    if (config_.numSockets() > kMaxSockets)
+        fatal("socket count %u exceeds the directory's %u-socket capacity; "
+              "use at least %u cores per socket",
+              config_.numSockets(), kMaxSockets,
+              (config_.numCores + kMaxSockets - 1) / kMaxSockets);
     for (unsigned c = 0; c < config_.numCores; ++c) {
         l1d_.emplace_back(config_.l1d);
         l2_.emplace_back(config_.l2);
@@ -110,8 +123,8 @@ void
 MemSystem::maybeEraseDir(uint64_t line)
 {
     auto it = dir_.find(line);
-    if (it != dir_.end() && it->second.coreMask == 0 &&
-        it->second.socketMask == 0 && it->second.owner < 0) {
+    if (it != dir_.end() && it->second.cores.empty() &&
+        it->second.sockets.none() && it->second.owner < 0) {
         dir_.erase(it);
     }
 }
@@ -175,31 +188,41 @@ MemSystem::invalidateSharers(unsigned requester, uint64_t line, double now)
     const unsigned my_socket = socketOf(requester);
     bool remote = false;
 
-    uint64_t mask = entry->coreMask & ~coreBit(requester);
-    while (mask) {
-        const unsigned core = static_cast<unsigned>(std::countr_zero(mask));
-        mask &= mask - 1;
-        // A dirty copy is forwarded to the requester (whose own copy
-        // becomes Modified and will be written back on eviction), so
-        // no memory traffic is generated here.
-        invalidateCore(core, line);
-        if (!functional_)
-            ++stats_.invalidations;
-        if (socketOf(core) != my_socket)
-            remote = true;
-        entry->coreMask &= ~coreBit(core);
-    }
+    // Level-1 walk: only sockets that actually hold the line. Within
+    // each socket the exact shard word is walked low bit first, so
+    // sharers are visited in ascending global core order — the same
+    // sequence the old flat 64-bit mask produced.
+    const CoreSet<kMaxSockets> holding = entry->cores.sockets();
+    holding.forEachSetBit([&](unsigned socket) {
+        uint64_t word = entry->cores.socketWord(socket);
+        if (socket == my_socket)
+            word &= ~(uint64_t{1} << bitInSocket(requester));
+        while (word) {
+            const unsigned bit =
+                static_cast<unsigned>(std::countr_zero(word));
+            word &= word - 1;
+            const unsigned core = socket * config_.coresPerSocket + bit;
+            // A dirty copy is forwarded to the requester (whose own
+            // copy becomes Modified and will be written back on
+            // eviction), so no memory traffic is generated here.
+            invalidateCore(core, line);
+            if (!functional_)
+                ++stats_.invalidations;
+            if (socket != my_socket)
+                remote = true;
+            entry->cores.clear(socket, bit);
+        }
+    });
 
-    uint64_t smask = entry->socketMask & ~socketBit(my_socket);
-    while (smask) {
-        const unsigned socket = static_cast<unsigned>(std::countr_zero(smask));
-        smask &= smask - 1;
+    CoreSet<kMaxSockets> smask = entry->sockets;
+    smask.clear(my_socket);
+    smask.forEachSetBit([&](unsigned socket) {
         const LineState prior = l3_[socket].invalidate(line);
         if (prior == LineState::Modified)
             dramAccess(socket * config_.coresPerSocket, now, false);
-        entry->socketMask &= ~socketBit(socket);
+        entry->sockets.clear(socket);
         remote = true;
-    }
+    });
 
     if (entry->owner >= 0 &&
         static_cast<unsigned>(entry->owner) != requester) {
@@ -216,21 +239,22 @@ MemSystem::handleL3Eviction(unsigned socket, const Eviction &ev, double now)
 
     DirEntry *entry = findDir(line);
     if (entry) {
-        uint64_t mask = entry->coreMask;
-        while (mask) {
-            const unsigned core =
-                static_cast<unsigned>(std::countr_zero(mask));
-            mask &= mask - 1;
-            if (socketOf(core) != socket)
-                continue;
+        // Only this socket's shard can hold back-invalidated cores;
+        // the two-level sharer set hands it to us directly.
+        uint64_t word = entry->cores.socketWord(socket);
+        while (word) {
+            const unsigned bit =
+                static_cast<unsigned>(std::countr_zero(word));
+            word &= word - 1;
+            const unsigned core = socket * config_.coresPerSocket + bit;
             dirty |= invalidateCore(core, line);
             if (!functional_)
                 ++stats_.invalidations;
-            entry->coreMask &= ~coreBit(core);
             if (entry->owner == static_cast<int16_t>(core))
                 entry->owner = -1;
         }
-        entry->socketMask &= ~socketBit(socket);
+        entry->cores.clearSocket(socket);
+        entry->sockets.clear(socket);
         maybeEraseDir(line);
     }
     if (dirty)
@@ -262,7 +286,7 @@ MemSystem::fillL2(unsigned core, uint64_t line, LineState state, double now)
 
     DirEntry *entry = findDir(ev->line);
     if (entry) {
-        entry->coreMask &= ~coreBit(core);
+        entry->cores.clear(socket, bitInSocket(core));
         if (entry->owner == static_cast<int16_t>(core))
             entry->owner = -1;
         maybeEraseDir(ev->line);
@@ -305,7 +329,7 @@ MemSystem::access(unsigned core, uint64_t addr, bool is_write, double now)
         if (l2_[core].contains(line))
             l2_[core].setState(line, LineState::Modified);
         DirEntry &entry = dirEntry(line);
-        entry.coreMask |= coreBit(core);
+        entry.cores.set(socket, bitInSocket(core));
         entry.owner = static_cast<int16_t>(core);
         ++stats_.l1Hits;
         const double latency = config_.l1d.latency + config_.upgradeLatency +
@@ -325,7 +349,7 @@ MemSystem::access(unsigned core, uint64_t addr, bool is_write, double now)
             l2_[core].setState(line, LineState::Modified);
             state = LineState::Modified;
             DirEntry &entry = dirEntry(line);
-            entry.coreMask |= coreBit(core);
+            entry.cores.set(socket, bitInSocket(core));
             entry.owner = static_cast<int16_t>(core);
             extra = config_.upgradeLatency +
                 (remote ? config_.remoteCacheLatency : 0.0);
@@ -340,9 +364,9 @@ MemSystem::access(unsigned core, uint64_t addr, bool is_write, double now)
     DirEntry *entry = findDir(line);
 
     if (is_write) {
-        if (entry && ((entry->coreMask & ~coreBit(core)) ||
+        if (entry && (entry->cores.anyOtherThan(socket, bitInSocket(core)) ||
                       entry->owner >= 0 ||
-                      (entry->socketMask & ~socketBit(socket)))) {
+                      entry->sockets.anyOtherThan(socket))) {
             const bool remote = invalidateSharers(core, line, now);
             extra += config_.upgradeLatency +
                 (remote ? config_.remoteCacheLatency : 0.0);
@@ -365,7 +389,7 @@ MemSystem::access(unsigned core, uint64_t addr, bool is_write, double now)
     } else {
         ++stats_.llcMisses;
         entry = findDir(line);
-        if (entry && (entry->socketMask & ~socketBit(socket))) {
+        if (entry && entry->sockets.anyOtherThan(socket)) {
             ++stats_.remoteHits;
             base_latency = config_.remoteCacheLatency;
             level = MemLevel::RemoteCache;
@@ -385,8 +409,8 @@ MemSystem::access(unsigned core, uint64_t addr, bool is_write, double now)
     fillL1(core, line, priv_state);
 
     DirEntry &final_entry = dirEntry(line);
-    final_entry.coreMask |= coreBit(core);
-    final_entry.socketMask |= socketBit(socket);
+    final_entry.cores.set(socket, bitInSocket(core));
+    final_entry.sockets.set(socket);
     if (is_write)
         final_entry.owner = static_cast<int16_t>(core);
 
@@ -426,8 +450,8 @@ MemSystem::installFunctional(unsigned core, uint64_t line_addr,
         l3_[socket].setState(line, LineState::Modified);
 
     DirEntry &entry = dirEntry(line);
-    entry.coreMask |= coreBit(core);
-    entry.socketMask |= socketBit(socket);
+    entry.cores.set(socket, bitInSocket(core));
+    entry.sockets.set(socket);
     if (written)
         entry.owner = static_cast<int16_t>(core);
     functional_ = false;
@@ -485,6 +509,21 @@ LineState
 MemSystem::l1State(unsigned core, uint64_t line_addr) const
 {
     return l1d_.at(core).state(line_addr);
+}
+
+MemSystem::DirFootprint
+MemSystem::dirFootprint() const
+{
+    DirFootprint fp;
+    fp.lines = dir_.size();
+    if (fp.lines == 0)
+        return fp;
+    size_t bytes = fp.lines * sizeof(std::pair<const uint64_t, DirEntry>);
+    for (const auto &[line, entry] : dir_)
+        bytes += entry.cores.heapBytes();
+    fp.bytesPerLine = static_cast<double>(bytes) /
+        static_cast<double>(fp.lines);
+    return fp;
 }
 
 } // namespace bp

@@ -29,7 +29,7 @@
 #include <vector>
 
 #include "src/memsys/cache.h"
-#include "src/support/coremask.h"
+#include "src/support/core_set.h"
 
 namespace bp {
 
@@ -166,20 +166,36 @@ class MemSystem
     /** @return MSI state of @p line in a core's L1-D (testing hook). */
     LineState l1State(unsigned core, uint64_t line_addr) const;
 
+    /** Directory footprint snapshot (bench/BASELINE hook). */
+    struct DirFootprint
+    {
+        uint64_t lines = 0;      ///< lines with directory state
+        double bytesPerLine = 0; ///< avg bytes per tracked line
+    };
+    DirFootprint dirFootprint() const;
+
   private:
-    /** Directory entry for one line. */
+    /**
+     * Directory entry for one line. Private holders are tracked with
+     * the two-level SharerSet (socket summary + exact per-socket
+     * words), so invalidation walks only sockets that hold the line
+     * and per-line state stays compact at kMaxCores width.
+     */
     struct DirEntry
     {
-        uint64_t coreMask = 0;   ///< cores that may hold the line (L1/L2)
-        uint64_t socketMask = 0; ///< sockets holding the line in L3
-        int16_t owner = -1;      ///< core with the Modified copy, or -1
+        SharerSet cores;               ///< cores holding the line (L1/L2)
+        CoreSet<kMaxSockets> sockets;  ///< sockets holding the line in L3
+        int16_t owner = -1;            ///< core with the Modified copy
     };
-    static_assert(sizeof(decltype(DirEntry::coreMask)) * 8 >= kMaxCores,
-                  "coreMask must cover kMaxCores holder bits");
-    static_assert(sizeof(decltype(DirEntry::socketMask)) * 8 >= kMaxSockets,
-                  "socketMask must cover kMaxSockets holder bits");
     static_assert(kMaxCores <= INT16_MAX,
                   "owner must be able to index every core");
+
+    /** @return a core's sharer-bit index within its socket's shard. */
+    unsigned
+    bitInSocket(unsigned core) const
+    {
+        return core % config_.coresPerSocket;
+    }
 
     DirEntry &dirEntry(uint64_t line);
     DirEntry *findDir(uint64_t line);

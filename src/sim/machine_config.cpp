@@ -35,11 +35,16 @@ MachineConfig::tryByName(const std::string &name)
     unsigned cores = 0;
     for (size_t i = 0; i < at; ++i) {
         const char c = name[i];
-        if (c < '0' || c > '9' || cores > kMaxCores)
+        if (c < '0' || c > '9')
             return std::nullopt;
         cores = cores * 10 + static_cast<unsigned>(c - '0');
+        // Reject as soon as the value leaves range: cores stays <=
+        // kMaxCores before every multiply, so even absurdly long
+        // digit strings ("99999999999999-core") can never overflow.
+        if (cores > kMaxCores)
+            return std::nullopt;
     }
-    if (cores < 1 || cores > kMaxCores)
+    if (cores < 1)
         return std::nullopt;
     return withCores(cores);
 }
@@ -57,7 +62,7 @@ MachineConfig::byName(const std::string &name)
 std::vector<std::string>
 MachineConfig::knownNames()
 {
-    return {"8-core", "32-core", "64-core"};
+    return {"8-core", "32-core", "64-core", "256-core", "1024-core"};
 }
 
 MachineConfig
@@ -76,6 +81,18 @@ MachineConfig
 MachineConfig::cores64()
 {
     return withCores(64);
+}
+
+MachineConfig
+MachineConfig::cores256()
+{
+    return withCores(256);
+}
+
+MachineConfig
+MachineConfig::cores1024()
+{
+    return withCores(1024);
 }
 
 uint64_t

@@ -22,10 +22,10 @@ namespace bp {
  * four-socket machine, both with 2.66 GHz 4-wide cores, 128-entry
  * ROBs, a three-level cache hierarchy (L1/L2 private, 8 MB L3 shared
  * per 8-core socket), MSI directory coherence, and 65 ns /
- * 8 GB-per-socket DRAM. cores64() extends the same NUMA recipe to an
- * eight-socket machine, the projection target for the paper's
- * relative-scaling use case (Fig. 8); any width up to kMaxCores is
- * available through withCores().
+ * 8 GB-per-socket DRAM. cores64(), cores256() and cores1024() extend
+ * the same NUMA recipe to 8, 32 and 128 sockets — the projection
+ * targets for the paper's relative-scaling use case (Fig. 8); any
+ * width up to kMaxCores is available through withCores().
  */
 struct MachineConfig
 {
@@ -75,14 +75,19 @@ struct MachineConfig
     /** A 64-core, eight-socket machine (scaling-projection target). */
     static MachineConfig cores64();
 
+    /** A 256-core, 32-socket machine. */
+    static MachineConfig cores256();
+
+    /** A 1024-core, 128-socket machine (the directory's full width). */
+    static MachineConfig cores1024();
+
     /** A machine with @p cores cores (8 per socket), for sweeps. */
     static MachineConfig withCores(unsigned cores);
 
     /**
      * Look up a configuration by its name() string, e.g. "8-core",
-     * "64-core", or any "<N>-core" with N in [1, 64] (the directory's
-     * kMaxCores capacity). Calls fatal() on an unparseable name
-     * (user error).
+     * "1024-core", or any "<N>-core" with N in [1, kMaxCores]. Calls
+     * fatal() on an unparseable name (user error).
      */
     static MachineConfig byName(const std::string &name);
 

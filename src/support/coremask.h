@@ -1,52 +1,19 @@
 /**
  * @file
- * Capacity of "a set of cores" encoded as a bit mask.
+ * Compatibility forward to core_set.h.
  *
- * Several layers encode core sets as holder masks: the simulator's
- * coherence directory (DirEntry::coreMask), the pipeline's
- * coherence-aware warmup capture, and — indirectly — every thread or
- * core-count cap (Workload, MachineConfig, MemSystem). They all
- * derive their limit from the one constant here, so widening the
- * masks again is a single-header change, and the shift helpers keep
- * every `1 << index` site UB-free by construction.
+ * This header used to define the system's core-set capacity as a
+ * single 64-bit holder mask (kMaxCores = 64 plus `1 << index` shift
+ * helpers). That representation is gone: core sets are CoreSet
+ * word-array bitmaps and the coherence directory tracks sharers with
+ * the two-level SharerSet, both defined — together with the
+ * kMaxCores / kMaxCoresPerSocket / kMaxSockets capacity constants and
+ * the derivation chain they anchor — in src/support/core_set.h.
  */
 
 #ifndef BP_SUPPORT_COREMASK_H
 #define BP_SUPPORT_COREMASK_H
 
-#include <cstdint>
-
-namespace bp {
-
-/**
- * Hard capacity of a 64-bit core holder mask. MemSystem's
- * constructor is the single place that asserts a configuration
- * against it at runtime.
- */
-inline constexpr unsigned kMaxCores = 64;
-
-/**
- * Socket capacity of a directory socket mask. Matches kMaxCores so
- * every coresPerSocket >= 1 split of a maximal machine fits (the
- * standard Table I recipe is 8 cores per socket, but single-core
- * sockets are legal).
- */
-inline constexpr unsigned kMaxSockets = kMaxCores;
-
-/** @return the holder-mask bit for @p core (64-bit, UB-free to 63). */
-constexpr uint64_t
-coreBit(unsigned core)
-{
-    return uint64_t{1} << core;
-}
-
-/** @return the socket-mask bit for @p socket (same 64-bit capacity). */
-constexpr uint64_t
-socketBit(unsigned socket)
-{
-    return uint64_t{1} << socket;
-}
-
-} // namespace bp
+#include "src/support/core_set.h"
 
 #endif // BP_SUPPORT_COREMASK_H

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "src/support/coremask.h"
+#include "src/support/core_set.h"
 #include "src/support/logging.h"
 #include "src/support/rng.h"
 
@@ -11,8 +11,8 @@ namespace bp {
 Workload::Workload(std::string name, const WorkloadParams &params)
     : name_(std::move(name)), params_(params)
 {
-    // Both sides of the pipeline encode "a set of cores" as a 64-bit
-    // holder mask (the profiler's capture state and the simulator's
+    // Both sides of the pipeline encode "a set of cores" as a CoreSet
+    // bitmap (the profiler's capture state and the simulator's
     // coherence directory), so threads are capped at the directory's
     // kMaxCores capacity and every workload is simulable as profiled.
     if (params_.threads < 1 || params_.threads > kMaxCores)

@@ -130,7 +130,7 @@ TEST(CliTest, BadOptionValueIsAUsageError)
     EXPECT_NE(threads.output.find("wants an integer"), std::string::npos);
 
     const RunResult range =
-        runCli("profile --workload npb-is --threads 65 -o /dev/null");
+        runCli("profile --workload npb-is --threads 1025 -o /dev/null");
     EXPECT_EQ(range.exitCode, 2);
 
     const RunResult missing = runCli("analyze --profile");

@@ -319,7 +319,29 @@ TEST(MemSystemTest, SixtyFourCoreMachineConstructs)
 
 TEST(MemSystemTest, BeyondDirectoryCapacityIsRejected)
 {
-    EXPECT_DEATH({ MemSystem m(configWide(65)); }, "\\[1, 64\\]");
+    EXPECT_DEATH({ MemSystem m(configWide(1025)); }, "\\[1, 1024\\]");
+}
+
+TEST(MemSystemTest, SocketsWiderThanOneShardWordAreRejected)
+{
+    // A socket's exact sharer shard is one 64-bit word: >64-core
+    // sockets are only legal while the whole machine fits one word.
+    MemSystemConfig wide_socket;
+    wide_socket.numCores = 64;
+    wide_socket.coresPerSocket = 128;  // single wide socket: fine
+    MemSystem ok(wide_socket);
+    EXPECT_EQ(ok.config().numSockets(), 1u);
+
+    wide_socket.numCores = 256;
+    EXPECT_DEATH({ MemSystem m(wide_socket); }, "64 cores");
+}
+
+TEST(MemSystemTest, TooManySocketsAreRejected)
+{
+    MemSystemConfig narrow;
+    narrow.numCores = 1024;
+    narrow.coresPerSocket = 4;  // 256 sockets > kMaxSockets
+    EXPECT_DEATH({ MemSystem m(narrow); }, "socket");
 }
 
 /**
@@ -407,7 +429,50 @@ TEST_P(ManyCoreDirectoryTest, HighSocketRemoteHit)
 }
 
 INSTANTIATE_TEST_SUITE_P(WideCoreCounts, ManyCoreDirectoryTest,
-                         ::testing::Values(33u, 48u, 64u));
+                         ::testing::Values(33u, 48u, 64u, 65u, 256u,
+                                           1024u));
+
+/**
+ * Cases specific to the CoreSet/SharerSet representation above 64
+ * cores: sharers straddling the 64-bit word boundaries of the old
+ * flat mask, and invalidation fanning out across more sockets than
+ * the old 64-bit socket mask had bits for.
+ */
+TEST(ManyCoreDirectoryTest, CrossWordSharerInvalidation)
+{
+    MemSystem m(configWide(1024));
+    // One sharer on each side of every CoreSet word boundary the old
+    // representation could not express.
+    const unsigned sharers[] = {0u,   63u,  64u,  127u, 128u,
+                                511u, 512u, 767u, 1023u};
+    for (const unsigned c : sharers)
+        m.access(c, addrOfLine(400), false, 0.0);
+    m.access(5, addrOfLine(400), true, 0.0);
+    for (const unsigned c : sharers) {
+        EXPECT_EQ(m.l1State(c, 400), LineState::Invalid)
+            << "sharer " << c << " survived";
+    }
+    EXPECT_EQ(m.l1State(5, 400), LineState::Modified);
+    EXPECT_GE(m.stats().invalidations, std::size(sharers));
+}
+
+TEST(ManyCoreDirectoryTest, BackInvalidationAcrossManySockets)
+{
+    // A store must reach holders in far more sockets than the old
+    // 64-bit socket mask could track: one sharer in each of 32
+    // sockets (well past the >8 sockets of the 256-core machine).
+    MemSystem m(configWide(1024));
+    const unsigned sockets = 32;
+    for (unsigned s = 0; s < sockets; ++s)
+        m.access(s * 8, addrOfLine(500), false, 0.0);
+    m.access(1023, addrOfLine(500), true, 0.0);
+    for (unsigned s = 0; s < sockets; ++s) {
+        EXPECT_EQ(m.l1State(s * 8, 500), LineState::Invalid)
+            << "socket " << s;
+    }
+    EXPECT_EQ(m.l1State(1023, 500), LineState::Modified);
+    EXPECT_GE(m.stats().invalidations, sockets);
+}
 
 /** Coherence invariant sweep: random accesses from random cores. */
 class CoherenceRandomTest : public ::testing::TestWithParam<unsigned>
@@ -445,7 +510,8 @@ TEST_P(CoherenceRandomTest, SingleWriterInvariant)
 }
 
 INSTANTIATE_TEST_SUITE_P(CoreCounts, CoherenceRandomTest,
-                         ::testing::Values(2u, 8u, 32u, 33u, 48u, 64u));
+                         ::testing::Values(2u, 8u, 32u, 33u, 48u, 64u, 65u,
+                                           256u, 1024u));
 
 } // namespace
 } // namespace bp

@@ -209,9 +209,9 @@ TEST(PipelineTest, SnapshotCaptureHandlesMoreThan32Threads)
 
 TEST(PipelineTest, ThreadCountBeyondHolderMaskIsRejected)
 {
-    // The widened holder mask covers 64 threads; workloads beyond
+    // The holder CoreSets cover kMaxCores threads; workloads beyond
     // that must refuse loudly instead of corrupting capture state.
-    EXPECT_DEATH({ const WideWorkload workload(65); }, "\\[1, 64\\]");
+    EXPECT_DEATH({ const WideWorkload workload(1025); }, "\\[1, 1024\\]");
 }
 
 TEST(PipelineTest, FullPipelineBeyond32Threads)

@@ -416,25 +416,49 @@ TEST(MachineConfigTest, Factories)
     const auto m64 = MachineConfig::cores64();
     EXPECT_EQ(m64.numCores, 64u);
     EXPECT_EQ(m64.mem.numSockets(), 8u);
+    const auto m256 = MachineConfig::cores256();
+    EXPECT_EQ(m256.numCores, 256u);
+    EXPECT_EQ(m256.mem.numSockets(), 32u);
+    const auto m1024 = MachineConfig::cores1024();
+    EXPECT_EQ(m1024.numCores, 1024u);
+    EXPECT_EQ(m1024.mem.numSockets(), 128u);
     EXPECT_DOUBLE_EQ(m8.robCredit(), 32.0);
     EXPECT_NEAR(m8.secondsFromCycles(2.66e9), 1.0, 1e-9);
 }
 
 TEST(MachineConfigTest, ByNameCoversTheFullDirectoryRange)
 {
-    for (const unsigned cores : {1u, 8u, 33u, 48u, 64u}) {
+    for (const unsigned cores : {1u, 8u, 33u, 48u, 64u, 65u, 128u, 256u,
+                                 512u, 1024u}) {
         const auto m =
             MachineConfig::byName(std::to_string(cores) + "-core");
         EXPECT_EQ(m.numCores, cores);
         EXPECT_EQ(m.mem.numCores, cores);
     }
-    EXPECT_DEATH(MachineConfig::byName("65-core"), "\\[1, 64\\]");
-    EXPECT_DEATH(MachineConfig::byName("0-core"), "\\[1, 64\\]");
+    EXPECT_DEATH(MachineConfig::byName("1025-core"), "\\[1, 1024\\]");
+    EXPECT_DEATH(MachineConfig::byName("0-core"), "\\[1, 1024\\]");
+}
+
+TEST(MachineConfigTest, AbsurdCoreCountNamesAreRejectedNotOverflowed)
+{
+    // The digit-parse loop must bail the moment the value leaves
+    // [1, kMaxCores]: a digit string long enough to overflow unsigned
+    // arithmetic ("99999999999999") is a usage error, not UB (and
+    // definitely not a small aliased core count).
+    EXPECT_FALSE(MachineConfig::tryByName("99999999999999-core"));
+    EXPECT_FALSE(
+        MachineConfig::tryByName("99999999999999999999999999-core"));
+    EXPECT_FALSE(MachineConfig::tryByName("4294967297-core"));  // 2^32+1
+    EXPECT_FALSE(MachineConfig::tryByName("0-core"));
+    EXPECT_FALSE(MachineConfig::tryByName("1025-core"));
+    EXPECT_TRUE(MachineConfig::tryByName("1024-core"));
+    EXPECT_DEATH(MachineConfig::byName("99999999999999-core"),
+                 "\\[1, 1024\\]");
 }
 
 TEST(MachineConfigTest, WithCoresBeyondDirectoryCapacityIsRejected)
 {
-    EXPECT_DEATH(MachineConfig::withCores(65), "1\\.\\.64");
+    EXPECT_DEATH(MachineConfig::withCores(1025), "1\\.\\.1024");
 }
 
 } // namespace

@@ -36,7 +36,7 @@
 #include <vector>
 
 #include "src/core/barrierpoint.h"
-#include "src/support/coremask.h"
+#include "src/support/core_set.h"
 #include "src/support/logging.h"
 #include "src/support/serialize.h"
 #include "src/support/stats.h"
