@@ -2,12 +2,27 @@
 
 #include <cstdio>
 
+#include <sys/resource.h>
+
 namespace bp {
 
 std::vector<std::string>
 benchWorkloads()
 {
     return workloadNames();
+}
+
+uint64_t
+peakRssBytes()
+{
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#ifdef __APPLE__
+    return static_cast<uint64_t>(usage.ru_maxrss);  // bytes
+#else
+    return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // kilobytes
+#endif
 }
 
 void

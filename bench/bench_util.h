@@ -12,6 +12,7 @@
 #ifndef BP_BENCH_BENCH_UTIL_H
 #define BP_BENCH_BENCH_UTIL_H
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -23,6 +24,14 @@ namespace bp {
 
 /** Workloads in the paper's order. */
 std::vector<std::string> benchWorkloads();
+
+/**
+ * Peak resident-set size of this process so far, in bytes
+ * (getrusage ru_maxrss). A high-water mark: it only grows, so
+ * measure deltas by forking per phase or run one phase per process.
+ * Returns 0 where the platform does not report it.
+ */
+uint64_t peakRssBytes();
 
 /** Print a standard header naming the reproduced table/figure. */
 void printHeader(const std::string &title, const std::string &source);

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "bench/legacy_profile_reference.h"
 #include "src/profile/region_profiler.h"
 #include "src/profile/sampled_reuse_distance.h"
@@ -445,7 +446,8 @@ main(int argc, char **argv)
             std::fprintf(out, "}%s\n",
                          i + 1 < results.size() ? "," : "");
         }
-        std::fprintf(out, "  ]\n}\n");
+        std::fprintf(out, "  ],\n  \"peak_rss_bytes\": %llu\n}\n",
+                     (unsigned long long)peakRssBytes());
         if (out != stdout)
             std::fclose(out);
     }

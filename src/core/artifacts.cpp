@@ -1,5 +1,8 @@
 #include "src/core/artifacts.h"
 
+#include <algorithm>
+
+#include "src/support/logging.h"
 #include "src/support/serialize.h"
 #include "src/workloads/registry.h"
 
@@ -268,6 +271,209 @@ loadRunResultArtifact(const std::string &path)
     artifact.result.deserialize(d);
     d.expectEnd();
     return artifact;
+}
+
+// ------------------------------------------------------ signature spill
+
+namespace {
+
+constexpr uint32_t kSpillMagic = 0x42505350u;  // "PSPB" little-endian
+constexpr uint32_t kSpillVersion = 1;
+constexpr long kSpillHeaderBytes = 24;
+constexpr long kSpillCountOffset = 16;
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+constexpr bool kBigEndianHost = true;
+#else
+constexpr bool kBigEndianHost = false;
+#endif
+
+/** In-place LE <-> host fixup; a no-op on little-endian hosts. */
+void
+fixupDoublesLe(double *data, size_t n)
+{
+    if (!kBigEndianHost)
+        return;
+    auto *bytes = reinterpret_cast<uint8_t *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        uint8_t *v = bytes + i * 8;
+        for (size_t b = 0; b < 4; ++b)
+            std::swap(v[b], v[7 - b]);
+    }
+}
+
+void
+putU32Le(uint8_t *out, uint32_t v)
+{
+    for (unsigned b = 0; b < 4; ++b)
+        out[b] = static_cast<uint8_t>(v >> (8 * b));
+}
+
+void
+putU64Le(uint8_t *out, uint64_t v)
+{
+    for (unsigned b = 0; b < 8; ++b)
+        out[b] = static_cast<uint8_t>(v >> (8 * b));
+}
+
+uint32_t
+getU32Le(const uint8_t *in)
+{
+    uint32_t v = 0;
+    for (unsigned b = 0; b < 4; ++b)
+        v |= static_cast<uint32_t>(in[b]) << (8 * b);
+    return v;
+}
+
+uint64_t
+getU64Le(const uint8_t *in)
+{
+    uint64_t v = 0;
+    for (unsigned b = 0; b < 8; ++b)
+        v |= static_cast<uint64_t>(in[b]) << (8 * b);
+    return v;
+}
+
+} // namespace
+
+SignatureSpillWriter::SignatureSpillWriter(const std::string &path,
+                                           unsigned dim)
+    : path_(path), dim_(dim)
+{
+    if (dim_ == 0)
+        throw SerializeError("signature spill requires dim > 0");
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        throw SerializeError("cannot create signature spill file '" +
+                             path + "'");
+    uint8_t header[kSpillHeaderBytes] = {};
+    putU32Le(header, kSpillMagic);
+    putU32Le(header + 4, kSpillVersion);
+    putU32Le(header + 8, dim_);
+    putU64Le(header + kSpillCountOffset, 0);  // patched on close()
+    if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw SerializeError("cannot write signature spill header to '" +
+                             path + "'");
+    }
+}
+
+SignatureSpillWriter::~SignatureSpillWriter()
+{
+    if (!file_)
+        return;
+    try {
+        close();
+    } catch (const SerializeError &) {
+        // Best effort only; an unreadable spill is rejected on load.
+    }
+}
+
+void
+SignatureSpillWriter::append(const double *point)
+{
+    BP_ASSERT(file_, "append() on a closed signature spill");
+    if (kBigEndianHost) {
+        double swapped[64];
+        BP_ASSERT(dim_ <= 64, "spill dim exceeds the encode buffer");
+        std::copy(point, point + dim_, swapped);
+        fixupDoublesLe(swapped, dim_);
+        if (std::fwrite(swapped, sizeof(double), dim_, file_) != dim_)
+            throw SerializeError("short write to signature spill '" +
+                                 path_ + "'");
+    } else if (std::fwrite(point, sizeof(double), dim_, file_) != dim_) {
+        throw SerializeError("short write to signature spill '" + path_ +
+                             "'");
+    }
+    ++count_;
+}
+
+void
+SignatureSpillWriter::close()
+{
+    if (!file_)
+        return;
+    std::FILE *file = file_;
+    file_ = nullptr;
+    uint8_t le[8];
+    putU64Le(le, count_);
+    const bool ok = std::fseek(file, kSpillCountOffset, SEEK_SET) == 0 &&
+                    std::fwrite(le, 1, sizeof(le), file) == sizeof(le) &&
+                    std::fflush(file) == 0;
+    if (std::fclose(file) != 0 || !ok)
+        throw SerializeError("cannot finalize signature spill '" + path_ +
+                             "'");
+}
+
+SignatureSpillReader::SignatureSpillReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        throw SerializeError("cannot open signature spill file '" + path +
+                             "'");
+    uint8_t header[kSpillHeaderBytes];
+    if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw SerializeError("signature spill '" + path +
+                             "' is too short for its header");
+    }
+    const uint32_t magic = getU32Le(header);
+    const uint32_t version = getU32Le(header + 4);
+    dim_ = getU32Le(header + 8);
+    count_ = getU64Le(header + kSpillCountOffset);
+    bool bad = magic != kSpillMagic || version != kSpillVersion ||
+               dim_ == 0;
+    if (!bad) {
+        // The advertised count must match the bytes actually present:
+        // a crashed writer (count still 0) or a truncated copy is
+        // detected here instead of surfacing as garbage points.
+        bad = std::fseek(file_, 0, SEEK_END) != 0;
+        if (!bad) {
+            const long size = std::ftell(file_);
+            const long expect = kSpillHeaderBytes +
+                static_cast<long>(count_ * dim_ * sizeof(double));
+            bad = size != expect;
+        }
+    }
+    if (bad) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw SerializeError("signature spill '" + path +
+                             "' is corrupt or truncated");
+    }
+    rewind();
+}
+
+SignatureSpillReader::~SignatureSpillReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+size_t
+SignatureSpillReader::read(double *out, size_t max_points)
+{
+    const uint64_t remaining = count_ - position_;
+    const size_t want =
+        static_cast<size_t>(std::min<uint64_t>(max_points, remaining));
+    if (want == 0)
+        return 0;
+    const size_t doubles = want * dim_;
+    if (std::fread(out, sizeof(double), doubles, file_) != doubles)
+        throw SerializeError("short read from signature spill");
+    fixupDoublesLe(out, doubles);
+    position_ += want;
+    return want;
+}
+
+void
+SignatureSpillReader::rewind()
+{
+    if (std::fseek(file_, kSpillHeaderBytes, SEEK_SET) != 0)
+        throw SerializeError("cannot seek in signature spill");
+    position_ = 0;
 }
 
 } // namespace bp

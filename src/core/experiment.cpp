@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "src/support/logging.h"
+#include "src/support/rng.h"
 #include "src/support/serialize.h"
 
 namespace bp {
@@ -34,6 +35,21 @@ sanitizeName(const std::string &name)
 }
 
 /**
+ * The analysis artifact key: the options hash, with the streaming
+ * configuration folded in when streaming mode is on — a streaming
+ * analysis is a different result than a batch one (mini-batch
+ * centroids vs full Lloyd), so the two must never share a cache slot.
+ */
+uint64_t
+analysisKeyHash(const Experiment::Config &config)
+{
+    const uint64_t options = optionsHash(config.options);
+    if (!config.streaming.enabled)
+        return options;
+    return hashMix(options ^ streamingHash(config.streaming));
+}
+
+/**
  * Save @p artifact with @p member lent to its @p field for the
  * duration of the write — no copy of the (potentially large) stage
  * data, and the memoized member is restored on every path, including
@@ -60,7 +76,7 @@ Experiment::Experiment(WorkloadSpec spec, Config config,
                        ExecutionContext exec)
     : owned_(spec.instantiate()), workload_(owned_.get()),
       spec_(std::move(spec)), config_(std::move(config)),
-      exec_(std::move(exec)), optionsHash_(bp::optionsHash(config_.options)),
+      exec_(std::move(exec)), optionsHash_(analysisKeyHash(config_)),
       profilingHash_(bp::profilingHash(config_.options.profiling)),
       stem_(sanitizeName(spec_.name) + "-" + hex16(spec_.hash()))
 {}
@@ -70,7 +86,7 @@ Experiment::Experiment(std::unique_ptr<Workload> workload, Config config,
     : owned_(std::move(workload)), workload_(owned_.get()),
       spec_(WorkloadSpec::describe(*workload_)),
       config_(std::move(config)), exec_(std::move(exec)),
-      optionsHash_(bp::optionsHash(config_.options)),
+      optionsHash_(analysisKeyHash(config_)),
       profilingHash_(bp::profilingHash(config_.options.profiling)),
       stem_(sanitizeName(spec_.name) + "-" + hex16(spec_.hash()))
 {}
@@ -79,7 +95,7 @@ Experiment::Experiment(const Workload &workload, Config config,
                        ExecutionContext exec)
     : workload_(&workload), spec_(WorkloadSpec::describe(workload)),
       config_(std::move(config)), exec_(std::move(exec)),
-      optionsHash_(bp::optionsHash(config_.options)),
+      optionsHash_(analysisKeyHash(config_)),
       profilingHash_(bp::profilingHash(config_.options.profiling)),
       stem_(sanitizeName(spec_.name) + "-" + hex16(spec_.hash()))
 {}
@@ -273,6 +289,17 @@ Experiment::tryLoadAnalysis(const std::string &path)
     }
 }
 
+StreamingConfig
+Experiment::effectiveStreaming()
+{
+    StreamingConfig streaming = config_.streaming;
+    if (streaming.spillDir.empty() && !config_.artifactDir.empty()) {
+        ensureArtifactDir();
+        streaming.spillDir = config_.artifactDir;
+    }
+    return streaming;
+}
+
 const BarrierPointAnalysis &
 Experiment::analysis()
 {
@@ -282,7 +309,21 @@ Experiment::analysis()
     if (!seeded_ && !path.empty() && tryLoadAnalysis(path))
         return *analysis_;
 
-    analysis_ = analyzeProfiles(profiles(), config_.options, exec_);
+    if (config_.streaming.enabled) {
+        // The streaming pass never materializes profiles (and writes
+        // no profile artifact) unless a profile stage already exists —
+        // then it streams over the in-memory profiles instead, which
+        // feeds the analyzer the identical consume() sequence.
+        if (profiles_) {
+            analysis_ = analyzeProfilesStreaming(
+                *profiles_, config_.options, effectiveStreaming(), exec_);
+        } else {
+            analysis_ = analyzeWorkloadStreaming(
+                *workload_, config_.options, effectiveStreaming(), exec_);
+        }
+    } else {
+        analysis_ = analyzeProfiles(profiles(), config_.options, exec_);
+    }
     if (!seeded_ && !path.empty()) {
         ensureArtifactDir();
         AnalysisArtifact artifact;

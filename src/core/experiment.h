@@ -44,6 +44,7 @@
 
 #include "src/core/artifacts.h"
 #include "src/core/pipeline.h"
+#include "src/core/streaming.h"
 #include "src/support/execution_context.h"
 
 namespace bp {
@@ -73,6 +74,20 @@ class Experiment
          * any number of experiments can share one directory.
          */
         std::string artifactDir;
+
+        /**
+         * Streaming analysis mode (core/streaming.h). When enabled,
+         * analysis() drives the profiler through a StreamingAnalyzer
+         * sink — profiles are projected and dropped region by region,
+         * never materialized (and no profile artifact is written),
+         * with signature points spilled to disk when they exceed the
+         * memory budget (spillDir defaults to artifactDir when set).
+         * streamingHash() is folded into the analysis artifact key,
+         * so streaming and batch artifacts of the same options never
+         * collide. Downstream stages (snapshots, simulate, sweep) are
+         * unchanged — they scale with barrierpoints, not regions.
+         */
+        StreamingConfig streaming;
     };
 
     /** Instantiate @p spec through the workload registry. */
@@ -210,6 +225,9 @@ class Experiment
 
     /** Create artifactDir (once) before writing into it. */
     void ensureArtifactDir();
+
+    /** Config::streaming with spillDir defaulted to artifactDir. */
+    StreamingConfig effectiveStreaming();
 
     bool tryLoadProfiles(const std::string &path);
     bool tryLoadAnalysis(const std::string &path);

@@ -260,23 +260,137 @@ clusterSignatures(const std::vector<std::vector<double>> &points,
         out.bicByK[idx] = bicScore(points, weights, by_k[idx]);
     });
 
-    // SimPoint rule: smallest k whose BIC reaches bicThreshold of the
+    const unsigned chosen = chooseKByBic(out.bicByK, config.bicThreshold);
+    out.best = std::move(by_k[chosen - 1]);
+    return out;
+}
+
+unsigned
+chooseKByBic(const std::vector<double> &bic_by_k, double threshold)
+{
+    BP_ASSERT(!bic_by_k.empty(), "BIC selection requires scores");
+    const unsigned max_k = static_cast<unsigned>(bic_by_k.size());
+
+    // SimPoint rule: smallest k whose BIC reaches threshold of the
     // observed score range.
-    const double lo = *std::min_element(out.bicByK.begin(),
-                                        out.bicByK.end());
-    const double hi = *std::max_element(out.bicByK.begin(),
-                                        out.bicByK.end());
+    const double lo = *std::min_element(bic_by_k.begin(), bic_by_k.end());
+    const double hi = *std::max_element(bic_by_k.begin(), bic_by_k.end());
     const double range = hi - lo;
     unsigned chosen = max_k;
     for (unsigned k = 1; k <= max_k; ++k) {
-        const double score = out.bicByK[k - 1];
-        if (range <= 0.0 || (score - lo) >= config.bicThreshold * range) {
+        const double score = bic_by_k[k - 1];
+        if (range <= 0.0 || (score - lo) >= threshold * range) {
             chosen = k;
             break;
         }
     }
-    out.best = std::move(by_k[chosen - 1]);
-    return out;
+    return chosen;
+}
+
+double
+bicFromStats(uint64_t n_points, unsigned dim_in,
+             const std::vector<double> &cluster_weight, double weighted_sse)
+{
+    const unsigned k = static_cast<unsigned>(cluster_weight.size());
+    const double dim = static_cast<double>(dim_in);
+
+    double total_weight = 0.0;
+    for (const double w : cluster_weight)
+        total_weight += w;
+    BP_ASSERT(total_weight > 0.0, "BIC requires positive total weight");
+
+    // Same normalization as bicScore(): weights behave like n_points
+    // effective samples. Scaling the aggregates instead of each point
+    // gives a (tolerably) different rounding, which is fine here —
+    // streaming scores are only ever compared with each other.
+    const double n = static_cast<double>(n_points);
+    const double weight_scale = n / total_weight;
+    const double sse = weighted_sse * weight_scale;
+
+    const double denom = std::max(1.0, n - static_cast<double>(k));
+    const double sigma2 = std::max(sse / (dim * denom), 1e-12);
+
+    double log_likelihood = 0.0;
+    for (unsigned c = 0; c < k; ++c) {
+        const double cluster_n = cluster_weight[c] * weight_scale;
+        if (cluster_n <= 0.0)
+            continue;
+        log_likelihood += cluster_n * std::log(cluster_n / n);
+    }
+    log_likelihood -= n * dim / 2.0 * std::log(2.0 * M_PI * sigma2);
+    log_likelihood -= dim * (n - k) / 2.0;
+
+    const double params = static_cast<double>(k) * (dim + 1.0);
+    return log_likelihood - params / 2.0 * std::log(n);
+}
+
+MiniBatchLloyd::MiniBatchLloyd(std::vector<std::vector<double>> centroids,
+                               std::vector<double> initial_weights)
+    : centroids_(std::move(centroids)),
+      cumulativeWeight_(std::move(initial_weights))
+{
+    BP_ASSERT(!centroids_.empty(), "mini-batch k-means requires centroids");
+    dim_ = static_cast<unsigned>(centroids_[0].size());
+    for (const auto &c : centroids_)
+        BP_ASSERT(c.size() == dim_, "centroid dimension mismatch");
+    if (cumulativeWeight_.empty())
+        cumulativeWeight_.assign(centroids_.size(), 0.0);
+    BP_ASSERT(cumulativeWeight_.size() == centroids_.size(),
+              "initial weights / centroids mismatch");
+    batchSum_.assign(centroids_.size() * dim_, 0.0);
+    batchWeight_.assign(centroids_.size(), 0.0);
+}
+
+unsigned
+MiniBatchLloyd::nearest(const double *point, double *dist_out) const
+{
+    double best = std::numeric_limits<double>::max();
+    unsigned best_c = 0;
+    for (unsigned c = 0; c < k(); ++c) {
+        const double *centroid = centroids_[c].data();
+        double d = 0.0;
+        for (unsigned i = 0; i < dim_; ++i) {
+            const double diff = point[i] - centroid[i];
+            d += diff * diff;
+        }
+        if (d < best) {
+            best = d;
+            best_c = c;
+        }
+    }
+    if (dist_out)
+        *dist_out = best;
+    return best_c;
+}
+
+void
+MiniBatchLloyd::update(const double *points, const double *weights,
+                       size_t count)
+{
+    std::fill(batchSum_.begin(), batchSum_.end(), 0.0);
+    std::fill(batchWeight_.begin(), batchWeight_.end(), 0.0);
+    for (size_t i = 0; i < count; ++i) {
+        const double *point = points + i * dim_;
+        const unsigned c = nearest(point);
+        const double w = weights[i];
+        batchWeight_[c] += w;
+        double *sum = batchSum_.data() + c * dim_;
+        for (unsigned d = 0; d < dim_; ++d)
+            sum[d] += w * point[d];
+    }
+    for (unsigned c = 0; c < k(); ++c) {
+        const double batch_w = batchWeight_[c];
+        if (batch_w <= 0.0)
+            continue;
+        const double total = cumulativeWeight_[c] + batch_w;
+        const double eta = batch_w / total;
+        const double *sum = batchSum_.data() + c * dim_;
+        for (unsigned d = 0; d < dim_; ++d) {
+            const double batch_mean = sum[d] / batch_w;
+            centroids_[c][d] += eta * (batch_mean - centroids_[c][d]);
+        }
+        cumulativeWeight_[c] = total;
+    }
 }
 
 } // namespace bp

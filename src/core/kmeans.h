@@ -12,6 +12,7 @@
 #ifndef BP_CORE_KMEANS_H
 #define BP_CORE_KMEANS_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -83,6 +84,93 @@ ClusteringResult clusterSignatures(
     const std::vector<std::vector<double>> &points,
     const std::vector<double> &weights, const ClusteringConfig &config,
     ThreadPool *pool = nullptr);
+
+/**
+ * The SimPoint selection rule on a finished BIC sweep: the smallest k
+ * whose score reaches @p threshold of the observed score range.
+ * Shared by the batch sweep and the streaming mini-batch sweep so the
+ * two modes can never drift on the model-selection policy.
+ *
+ * @param bic_by_k index k-1 -> BIC score (non-empty)
+ * @return chosen k, 1-based
+ */
+unsigned chooseKByBic(const std::vector<double> &bic_by_k,
+                      double threshold);
+
+/**
+ * bicScore() computed from streaming aggregates instead of a
+ * materialized point set: per-cluster total weight plus the total
+ * weighted SSE are enough. Used by the streaming analyzer, whose
+ * passes accumulate exactly these statistics in region order.
+ *
+ * (Kept separate from bicScore() on purpose: folding the weight
+ * normalization into the per-point loop there would change its
+ * floating-point accumulation order and break the batch path's
+ * bit-identity pin.)
+ */
+double bicFromStats(uint64_t n_points, unsigned dim,
+                    const std::vector<double> &cluster_weight,
+                    double weighted_sse);
+
+/**
+ * Mini-batch k-means (Sculley-style) for streaming clustering: one
+ * model holds k centroids plus their cumulative update weights, and
+ * update() folds in one batch of points.
+ *
+ * Determinism contract: a batch is aggregated first (per-cluster
+ * weighted sums, accumulated serially in point order) and the
+ * centroids move once per batch via the cumulative-weight learning
+ * rate c += (batchW / (cumW + batchW)) * (batchMean - c). Assignment
+ * ties break toward the lowest centroid index. Feeding the same
+ * batches in the same order therefore yields bit-identical centroids
+ * regardless of thread count — the streaming analyzer's batches are
+ * defined by region index, never arrival order.
+ */
+class MiniBatchLloyd
+{
+  public:
+    /**
+     * @param centroids       k x dim initial centroids (k-means++ or
+     *                        a Lloyd run on a reservoir sample)
+     * @param initial_weights optional per-centroid starting mass
+     *                        (e.g. the reservoir cluster weights), so
+     *                        a well-trained seed is not obliterated by
+     *                        the first batch; empty = zero mass
+     */
+    explicit MiniBatchLloyd(std::vector<std::vector<double>> centroids,
+                            std::vector<double> initial_weights = {});
+
+    unsigned k() const { return static_cast<unsigned>(centroids_.size()); }
+    unsigned dim() const { return dim_; }
+    const std::vector<std::vector<double>> &centroids() const
+    {
+        return centroids_;
+    }
+
+    /**
+     * Nearest centroid of a flat @p point (dim doubles); ties break
+     * toward the lowest index. @p dist_out receives the squared
+     * distance when non-null.
+     */
+    unsigned nearest(const double *point,
+                     double *dist_out = nullptr) const;
+
+    /**
+     * Fold one batch of @p count flat points (count x dim doubles,
+     * weights aligned) into the model. Zero-weight points are
+     * assigned but move nothing — matching the batch pipeline, where
+     * they never pull a centroid either.
+     */
+    void update(const double *points, const double *weights, size_t count);
+
+  private:
+    std::vector<std::vector<double>> centroids_;
+    std::vector<double> cumulativeWeight_;  ///< per-centroid mass
+    unsigned dim_ = 0;
+    // Batch-aggregation scratch, reused across update() calls.
+    std::vector<double> batchSum_;     ///< k x dim
+    std::vector<double> batchWeight_;  ///< k
+};
 
 } // namespace bp
 

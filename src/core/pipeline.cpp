@@ -28,17 +28,35 @@ std::vector<RegionProfile>
 profileWorkload(const Workload &workload, const ProfilingConfig &profiling,
                 const ExecutionContext &exec)
 {
+    // The batch entry point is a collecting sink over the streaming
+    // core, so both paths profile identically by construction.
+    struct CollectingSink : RegionProfileSink
+    {
+        std::vector<RegionProfile> profiles;
+        void consume(RegionProfile &&profile) override
+        {
+            profiles.push_back(std::move(profile));
+        }
+    };
+    CollectingSink sink;
+    sink.profiles.reserve(workload.regionCount());
+    profileWorkloadToSink(workload, profiling, sink, exec);
+    return std::move(sink.profiles);
+}
+
+void
+profileWorkloadToSink(const Workload &workload,
+                      const ProfilingConfig &profiling,
+                      RegionProfileSink &sink, const ExecutionContext &exec)
+{
     ThreadPool &pool = exec.pool();
     const unsigned regions = workload.regionCount();
     RegionProfiler profiler(workload.threadCount(), 0, profiling);
-    std::vector<RegionProfile> profiles;
-    profiles.reserve(regions);
 
     if (pool.threadCount() <= 1) {
         for (unsigned r = 0; r < regions; ++r)
-            profiles.push_back(
-                profiler.profileRegion(workload.generateRegion(r)));
-        return profiles;
+            sink.consume(profiler.profileRegion(workload.generateRegion(r)));
+        return;
     }
 
     // Reuse-distance state persists across regions, so regions are
@@ -63,8 +81,7 @@ profileWorkload(const Workload &workload, const ProfilingConfig &profiling,
         for (unsigned r = 0; r < regions; ++r) {
             const unsigned slot = r % lookahead;
             pending[slot].get();
-            profiles.push_back(
-                profiler.profileRegion(*traces[slot], &pool));
+            sink.consume(profiler.profileRegion(*traces[slot], &pool));
             traces[slot].reset();
             if (r + lookahead < regions)
                 generate(r + lookahead, slot);
@@ -82,7 +99,6 @@ profileWorkload(const Workload &workload, const ProfilingConfig &profiling,
         }
         throw;
     }
-    return profiles;
 }
 
 std::vector<std::vector<double>>
@@ -106,12 +122,39 @@ analyzeProfiles(const std::vector<RegionProfile> &profiles,
                            ExecutionContext(options.threads));
 }
 
+namespace {
+
+/**
+ * The (options, exec) overloads draw parallelism from the context,
+ * not options.threads (see the field's doc) — flag the conflicting
+ * case instead of silently running a different worker count than the
+ * caller configured.
+ */
+void
+warnIfThreadsConflict(const BarrierPointOptions &options,
+                      const ExecutionContext &exec, const char *where)
+{
+    if (options.threads == 1)
+        return;  // default: the caller never asked for a count
+    const unsigned requested = options.threads == 0
+        ? ThreadPool::hardwareThreads()
+        : options.threads;
+    if (requested != exec.threadCount())
+        warn("%s: options.threads requests %u workers but the supplied "
+             "ExecutionContext runs %u; the context wins (results are "
+             "bit-identical either way)",
+             where, requested, exec.threadCount());
+}
+
+} // namespace
+
 BarrierPointAnalysis
 analyzeProfiles(const std::vector<RegionProfile> &profiles,
                 const BarrierPointOptions &options,
                 const ExecutionContext &exec)
 {
     BP_ASSERT(!profiles.empty(), "no profiles to analyze");
+    warnIfThreadsConflict(options, exec, "analyzeProfiles");
 
     const auto points = projectProfiles(profiles, options.signature,
                                         options.clustering, exec);

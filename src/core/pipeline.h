@@ -61,7 +61,32 @@ struct BarrierPointOptions
     /** Reuse-distance collection mode (exact, or SHARDS-sampled). */
     ProfilingConfig profiling;
     double significance = 0.001;  ///< Table III's 0.1 % threshold
-    unsigned threads = 1;         ///< pipeline workers (0 = hardware)
+
+    /**
+     * Pipeline workers (0 = hardware) — consulted ONLY by the
+     * overloads that build their own ExecutionContext. The (options,
+     * exec) overloads and bp::Experiment draw parallelism from the
+     * context they are given instead; they warn when a non-default
+     * thread count conflicts with the context's, since results are
+     * bit-identical either way but the worker count is not what this
+     * field says.
+     */
+    unsigned threads = 1;
+};
+
+/**
+ * Consumer of region profiles in region-index order — the streaming
+ * handoff between the profiler and an analysis that never holds all
+ * profiles at once (core/streaming.h). profileWorkloadToSink() calls
+ * consume() exactly once per region, in ascending region order, from
+ * the driving thread; the sink owns the profile from then on (project
+ * it, spill it, drop it).
+ */
+class RegionProfileSink
+{
+  public:
+    virtual ~RegionProfileSink() = default;
+    virtual void consume(RegionProfile &&profile) = 0;
 };
 
 /**
@@ -84,6 +109,19 @@ std::vector<RegionProfile> profileWorkload(const Workload &workload,
 std::vector<RegionProfile> profileWorkload(const Workload &workload,
                                            const ProfilingConfig &profiling,
                                            const ExecutionContext &exec = {});
+
+/**
+ * The streaming core of profileWorkload(): profile every region in
+ * execution order and hand each finished RegionProfile to @p sink
+ * instead of accumulating a vector — memory stays bounded by the
+ * trace-generation lookahead ring no matter how many regions the
+ * workload has. profileWorkload() is a thin collecting wrapper over
+ * this function, so the two are bit-identical per region.
+ */
+void profileWorkloadToSink(const Workload &workload,
+                           const ProfilingConfig &profiling,
+                           RegionProfileSink &sink,
+                           const ExecutionContext &exec = {});
 
 /** Build and project signatures for a set of region profiles. */
 std::vector<std::vector<double>> projectProfiles(

@@ -224,8 +224,7 @@ selectBarrierPoints(const ClusteringResult &clustering,
     // regions to the first barrierpoint. Only clusters no region maps
     // to (possible when k-means leaves a centroid unused) are
     // skipped; their cluster_to_point slot is never read.
-    constexpr unsigned kNoPoint = std::numeric_limits<unsigned>::max();
-    std::vector<unsigned> cluster_to_point(km.k, kNoPoint);
+    std::vector<unsigned> cluster_to_point(km.k, kNoClusterPoint);
     for (const unsigned c : cluster_order) {
         if (!has_representative[c])
             continue;  // no region assigned: nothing to represent
@@ -249,10 +248,142 @@ selectBarrierPoints(const ClusteringResult &clustering,
     analysis.regionToPoint.resize(n);
     for (size_t i = 0; i < n; ++i) {
         const unsigned j = cluster_to_point[km.assignment[i]];
-        BP_ASSERT(j != kNoPoint, "region assigned to an unemitted cluster");
+        BP_ASSERT(j != kNoClusterPoint,
+                  "region assigned to an unemitted cluster");
         analysis.regionToPoint[i] = j;
     }
 
+    return analysis;
+}
+
+// --------------------------------------------- streaming selection state
+
+bool
+ClusterSelectionState::withinTie(double dist, double best)
+{
+    // The batch pipeline's near-tie tolerance, verbatim: regions of a
+    // repetitive phase project to (nearly) identical points, and the
+    // median of the near-ties represents steady state rather than a
+    // cold-start transient.
+    return dist <= best + 1e-9 * (1.0 + best);
+}
+
+void
+ClusterSelectionState::observeDistance(double dist,
+                                       uint64_t region_instructions,
+                                       double region_weight)
+{
+    if (!hasMember || dist < bestDist)
+        bestDist = dist;
+    if (region_instructions > 0 &&
+        (!hasNonzero || dist < bestDistNonzero)) {
+        bestDistNonzero = dist;
+        hasNonzero = true;
+    }
+    hasMember = true;
+    instructions += region_instructions;
+    weight += region_weight;
+}
+
+void
+ClusterSelectionState::observeTieCount(double dist,
+                                       uint64_t region_instructions)
+{
+    if (withinTie(dist, bestDist))
+        ++tieCount;
+    if (region_instructions > 0 && hasNonzero &&
+        withinTie(dist, bestDistNonzero))
+        ++tieCountNonzero;
+}
+
+void
+ClusterSelectionState::observePick(uint32_t region, double dist,
+                                   uint64_t region_instructions)
+{
+    // The median tie by stream position: ties arrive in region order,
+    // so the (tieCount / 2)-th one is exactly the batch pick.
+    if (withinTie(dist, bestDist)) {
+        if (tieSeen_ == tieCount / 2)
+            pick = region;
+        ++tieSeen_;
+    }
+    if (region_instructions > 0 && hasNonzero &&
+        withinTie(dist, bestDistNonzero)) {
+        if (tieSeenNonzero_ == tieCountNonzero / 2)
+            pickNonzero = region;
+        ++tieSeenNonzero_;
+    }
+}
+
+BarrierPointAnalysis
+finalizeStreamingSelection(const std::vector<ClusterSelectionState> &clusters,
+                           std::vector<uint64_t> region_instructions,
+                           std::vector<double> bic_by_k, double significance,
+                           std::vector<unsigned> &cluster_to_point)
+{
+    const unsigned k = static_cast<unsigned>(clusters.size());
+
+    BarrierPointAnalysis analysis;
+    analysis.regionInstructions = std::move(region_instructions);
+    analysis.bicByK = std::move(bic_by_k);
+    analysis.chosenK = k;
+
+    uint64_t total_instructions = 0;
+    for (const uint64_t count : analysis.regionInstructions)
+        total_instructions += count;
+
+    // Same zero-instruction policy as the batch path: a representative
+    // with zero instructions would silently drop its cluster's whole
+    // instruction mass, so when the cluster has mass, the pick falls
+    // back to the best nonzero-instruction member.
+    std::vector<uint32_t> representative(k, 0);
+    for (unsigned c = 0; c < k; ++c) {
+        const ClusterSelectionState &state = clusters[c];
+        if (!state.hasMember)
+            continue;
+        uint32_t rep = state.pick;
+        if (analysis.regionInstructions[rep] == 0 &&
+            state.instructions > 0) {
+            BP_ASSERT(state.hasNonzero,
+                      "cluster with instructions has no nonzero member");
+            rep = state.pickNonzero;
+        }
+        representative[c] = rep;
+    }
+
+    // Emit barrierpoints ordered by representative region index.
+    std::vector<unsigned> cluster_order(k);
+    for (unsigned c = 0; c < k; ++c)
+        cluster_order[c] = c;
+    std::sort(cluster_order.begin(), cluster_order.end(),
+              [&](unsigned a, unsigned b) {
+                  return representative[a] < representative[b];
+              });
+
+    cluster_to_point.assign(k, kNoClusterPoint);
+    for (const unsigned c : cluster_order) {
+        if (!clusters[c].hasMember)
+            continue;  // no region assigned: nothing to represent
+        BarrierPoint point;
+        point.region = representative[c];
+        point.cluster = c;
+        point.instructions = analysis.regionInstructions[point.region];
+        point.multiplier = point.instructions > 0
+            ? static_cast<double>(clusters[c].instructions) /
+                static_cast<double>(point.instructions)
+            : 0.0;
+        point.weightFraction = total_instructions > 0
+            ? static_cast<double>(clusters[c].instructions) /
+                static_cast<double>(total_instructions)
+            : 0.0;
+        point.significant = point.weightFraction >= significance;
+        cluster_to_point[c] =
+            static_cast<unsigned>(analysis.points.size());
+        analysis.points.push_back(point);
+    }
+
+    analysis.regionToPoint.assign(analysis.regionInstructions.size(),
+                                  kNoClusterPoint);
     return analysis;
 }
 

@@ -97,6 +97,76 @@ BarrierPointAnalysis selectBarrierPoints(
     const std::vector<uint64_t> &region_instructions,
     double significance = 0.001);
 
+/** regionToPoint sentinel for clusters no region maps to. */
+constexpr unsigned kNoClusterPoint = 0xFFFFFFFFu;
+
+/**
+ * Per-cluster running state for streaming representative selection —
+ * the bounded-memory replacement for scanning a full signature
+ * matrix. The batch policy (nearest-to-centroid, near-ties resolved
+ * to the median occurrence, zero-instruction representatives re-picked
+ * among nonzero members) is preserved exactly, restructured as three
+ * O(1)-memory passes over the point stream in region order:
+ *
+ *   1. observeDistance()  -> final best distances + cluster mass
+ *   2. observeTieCount()  -> how many members near-tie that best
+ *   3. observePick()      -> the median tie, by position
+ *
+ * All three passes must present every region of the cluster in
+ * ascending region order with the *same* distances (the streaming
+ * analyzer re-reads its spilled points, which round-trip bit-exactly).
+ */
+struct ClusterSelectionState
+{
+    /** dist near-ties best under the shared selection tolerance. */
+    static bool withinTie(double dist, double best);
+
+    // Pass 1 results.
+    double bestDist = 0.0;
+    double bestDistNonzero = 0.0;
+    uint64_t instructions = 0;  ///< aggregate cluster instruction count
+    double weight = 0.0;        ///< aggregate cluster weight
+    bool hasMember = false;
+    bool hasNonzero = false;    ///< any member with instructions > 0
+
+    void observeDistance(double dist, uint64_t region_instructions,
+                         double region_weight);
+
+    // Pass 2 results.
+    uint32_t tieCount = 0;
+    uint32_t tieCountNonzero = 0;
+
+    void observeTieCount(double dist, uint64_t region_instructions);
+
+    // Pass 3 results.
+    uint32_t pick = 0;
+    uint32_t pickNonzero = 0;
+
+    void observePick(uint32_t region, double dist,
+                     uint64_t region_instructions);
+
+  private:
+    uint32_t tieSeen_ = 0;
+    uint32_t tieSeenNonzero_ = 0;
+};
+
+/**
+ * Build the analysis from finished per-cluster selection states: the
+ * streaming counterpart of selectBarrierPoints()'s emission half.
+ * Multipliers, weight fractions, significance, and the
+ * ordered-by-representative-region emission match the batch policy.
+ *
+ * regionToPoint is sized to the region count but left for the caller
+ * to fill (it needs one more assignment pass over the point stream);
+ * @p cluster_to_point receives the cluster -> points-index map for
+ * that pass, kNoClusterPoint for clusters without members.
+ */
+BarrierPointAnalysis finalizeStreamingSelection(
+    const std::vector<ClusterSelectionState> &clusters,
+    std::vector<uint64_t> region_instructions,
+    std::vector<double> bic_by_k, double significance,
+    std::vector<unsigned> &cluster_to_point);
+
 } // namespace bp
 
 #endif // BP_CORE_SELECTION_H

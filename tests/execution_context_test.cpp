@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for ExecutionContext itself: ownership vs borrowing, the
+ * copy-shares-pool contract, and the implicit-conversion spellings the
+ * pipeline API relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <vector>
+
+#include "src/support/execution_context.h"
+
+namespace bp {
+namespace {
+
+TEST(ExecutionContextTest, DefaultIsSerial)
+{
+    ExecutionContext exec;
+    EXPECT_EQ(exec.threadCount(), 1u);
+    std::vector<int> order;
+    exec.pool().parallelFor(0, 4, [&](uint64_t i) {
+        order.push_back(static_cast<int>(i));  // safe: inline serial
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ExecutionContextTest, OwnsPoolOfRequestedSize)
+{
+    ExecutionContext exec(3);
+    EXPECT_EQ(exec.threadCount(), 3u);
+    std::atomic<uint64_t> sum{0};
+    exec.pool().parallelFor(0, 100, [&](uint64_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ExecutionContextTest, ZeroSelectsHardwareConcurrency)
+{
+    ExecutionContext exec(0u);
+    EXPECT_EQ(exec.threadCount(), ThreadPool::hardwareThreads());
+}
+
+TEST(ExecutionContextTest, BorrowsExistingPool)
+{
+    ThreadPool pool(4);
+    ExecutionContext exec(pool);
+    EXPECT_EQ(&exec.pool(), &pool);
+    EXPECT_EQ(exec.threadCount(), 4u);
+}
+
+TEST(ExecutionContextTest, CopiesShareTheSamePool)
+{
+    ExecutionContext original(2);
+    ExecutionContext copy = original;
+    EXPECT_EQ(&copy.pool(), &original.pool());
+    EXPECT_EQ(copy.threadCount(), 2u);
+}
+
+TEST(ExecutionContextTest, CopyKeepsOwnedPoolAliveAfterOriginalDies)
+{
+    std::optional<ExecutionContext> original(ExecutionContext(2));
+    ExecutionContext copy = *original;
+    ThreadPool *pool = &copy.pool();
+    original.reset();
+    EXPECT_EQ(&copy.pool(), pool);
+    std::atomic<uint64_t> sum{0};
+    copy.pool().parallelFor(0, 10, [&](uint64_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 45u);
+}
+
+/** The pipeline-facing contract: `unsigned` and `ThreadPool &` both
+ *  convert implicitly at a `const ExecutionContext &` parameter. */
+unsigned
+threadsSeenBy(const ExecutionContext &exec)
+{
+    return exec.threadCount();
+}
+
+TEST(ExecutionContextTest, ImplicitConversionFromBothSpellings)
+{
+    EXPECT_EQ(threadsSeenBy(2u), 2u);
+    ThreadPool pool(5);
+    EXPECT_EQ(threadsSeenBy(pool), 5u);
+}
+
+} // namespace
+} // namespace bp

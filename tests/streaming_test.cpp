@@ -1,0 +1,478 @@
+/**
+ * @file
+ * Tests for the streaming bounded-memory analysis: signature spill
+ * round-trips, mini-batch k-means invariants, sink delivery order,
+ * the thread-count and spill-vs-in-memory bit-identity contracts,
+ * Experiment integration, and the streaming-vs-batch accuracy bound
+ * on every registered workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/core/barrierpoint.h"
+#include "src/core/streaming.h"
+#include "src/support/rng.h"
+#include "src/support/serialize.h"
+#include "src/support/stats.h"
+
+namespace bp {
+namespace {
+
+/** Bitwise double equality (the determinism contract's currency). */
+void
+expectBitEqual(double a, double b)
+{
+    EXPECT_EQ(std::bit_cast<uint64_t>(a), std::bit_cast<uint64_t>(b))
+        << a << " vs " << b;
+}
+
+void
+expectAnalysisBitEqual(const BarrierPointAnalysis &a,
+                       const BarrierPointAnalysis &b)
+{
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (size_t j = 0; j < a.points.size(); ++j) {
+        EXPECT_EQ(a.points[j].region, b.points[j].region) << "point " << j;
+        EXPECT_EQ(a.points[j].cluster, b.points[j].cluster);
+        expectBitEqual(a.points[j].multiplier, b.points[j].multiplier);
+        expectBitEqual(a.points[j].weightFraction,
+                       b.points[j].weightFraction);
+        EXPECT_EQ(a.points[j].instructions, b.points[j].instructions);
+        EXPECT_EQ(a.points[j].significant, b.points[j].significant);
+    }
+    EXPECT_EQ(a.regionToPoint, b.regionToPoint);
+    EXPECT_EQ(a.regionInstructions, b.regionInstructions);
+    ASSERT_EQ(a.bicByK.size(), b.bicByK.size());
+    for (size_t k = 0; k < a.bicByK.size(); ++k)
+        expectBitEqual(a.bicByK[k], b.bicByK[k]);
+    EXPECT_EQ(a.chosenK, b.chosenK);
+}
+
+std::string
+tempPath(const std::string &leaf)
+{
+    return ::testing::TempDir() + leaf;
+}
+
+// ------------------------------------------------------------ spill file
+
+TEST(SignatureSpillTest, RoundTripIsBitExact)
+{
+    const std::string path = tempPath("spill_roundtrip.spill");
+    constexpr unsigned dim = 7;
+    constexpr size_t n = 300;
+    Rng rng(42);
+    std::vector<double> written;
+    {
+        SignatureSpillWriter writer(path, dim);
+        std::vector<double> point(dim);
+        for (size_t i = 0; i < n; ++i) {
+            for (unsigned d = 0; d < dim; ++d)
+                point[d] = rng.nextDouble() * 1e6 - 5e5;
+            written.insert(written.end(), point.begin(), point.end());
+            writer.append(point.data());
+        }
+        EXPECT_EQ(writer.count(), n);
+        writer.close();
+    }
+
+    SignatureSpillReader reader(path);
+    EXPECT_EQ(reader.dim(), dim);
+    EXPECT_EQ(reader.count(), n);
+    std::vector<double> read(n * dim);
+    size_t got = 0;
+    while (const size_t chunk = reader.read(read.data() + got * dim, 64))
+        got += chunk;
+    ASSERT_EQ(got, n);
+    for (size_t i = 0; i < read.size(); ++i)
+        expectBitEqual(read[i], written[i]);
+
+    // rewind() restarts the stream from the first point.
+    reader.rewind();
+    double again[dim];
+    ASSERT_EQ(reader.read(again, 1), 1u);
+    for (unsigned d = 0; d < dim; ++d)
+        expectBitEqual(again[d], written[d]);
+
+    std::filesystem::remove(path);
+}
+
+TEST(SignatureSpillTest, ReaderRejectsTruncatedFile)
+{
+    const std::string path = tempPath("spill_truncated.spill");
+    constexpr unsigned dim = 5;
+    {
+        SignatureSpillWriter writer(path, dim);
+        const std::vector<double> point(dim, 1.5);
+        for (int i = 0; i < 10; ++i)
+            writer.append(point.data());
+        writer.close();
+    }
+    // Chop the last point in half: a crashed writer's signature.
+    const auto full = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, full - dim * 4);
+    EXPECT_THROW(SignatureSpillReader reader(path), SerializeError);
+    std::filesystem::remove(path);
+}
+
+TEST(SignatureSpillTest, ReaderRejectsUnpatchedHeader)
+{
+    const std::string path = tempPath("spill_unclosed.spill");
+    {
+        SignatureSpillWriter writer(path, 3);
+        const std::vector<double> point(3, 2.0);
+        writer.append(point.data());
+        writer.close();
+    }
+    // Re-zero the count field: the on-disk state of a writer that died
+    // before close() could patch it. Size check must catch it.
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const char zeros[8] = {};
+    ASSERT_EQ(std::fseek(f, 16, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(zeros, 1, 8, f), 8u);
+    std::fclose(f);
+    EXPECT_THROW(SignatureSpillReader reader(path), SerializeError);
+    std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------- mini-batch k-means
+
+TEST(MiniBatchLloydTest, NearestBreaksTiesTowardLowestIndex)
+{
+    MiniBatchLloyd model({{1.0, 0.0}, {1.0, 0.0}, {0.0, 5.0}});
+    const double point[2] = {1.0, 0.0};
+    double dist = -1.0;
+    EXPECT_EQ(model.nearest(point, &dist), 0u);
+    expectBitEqual(dist, 0.0);
+}
+
+TEST(MiniBatchLloydTest, FirstBatchWithZeroMassJumpsToBatchMean)
+{
+    MiniBatchLloyd model(std::vector<std::vector<double>>{{0.0}});
+    // Weighted mean of {2 (w=1), 5 (w=3)} = 4.25; with zero starting
+    // mass the learning rate is 1, so the centroid lands exactly there.
+    const double points[2] = {2.0, 5.0};
+    const double weights[2] = {1.0, 3.0};
+    model.update(points, weights, 2);
+    expectBitEqual(model.centroids()[0][0], 4.25);
+}
+
+TEST(MiniBatchLloydTest, InitialMassDampsTheFirstBatch)
+{
+    MiniBatchLloyd model(std::vector<std::vector<double>>{{0.0}}, {3.0});
+    // batchW = 1 at mean 8: c += (1 / (3 + 1)) * (8 - 0) = 2.
+    const double point[1] = {8.0};
+    const double weight[1] = {1.0};
+    model.update(point, weight, 1);
+    expectBitEqual(model.centroids()[0][0], 2.0);
+}
+
+TEST(MiniBatchLloydTest, ZeroWeightPointsMoveNothing)
+{
+    MiniBatchLloyd model(std::vector<std::vector<double>>{{1.0}, {9.0}});
+    const double points[2] = {0.0, 10.0};
+    const double weights[2] = {0.0, 0.0};
+    model.update(points, weights, 2);
+    expectBitEqual(model.centroids()[0][0], 1.0);
+    expectBitEqual(model.centroids()[1][0], 9.0);
+}
+
+TEST(MiniBatchLloydTest, BicFromStatsMatchesBicScore)
+{
+    // Two well-separated blobs; aggregate statistics of the finished
+    // clustering must reproduce bicScore() (different accumulation
+    // order, so near-equality rather than bit-equality).
+    std::vector<std::vector<double>> points;
+    std::vector<double> weights;
+    Rng rng(7);
+    for (int i = 0; i < 40; ++i) {
+        const double base = i < 20 ? 0.0 : 100.0;
+        points.push_back({base + rng.nextDouble(), base + rng.nextDouble()});
+        weights.push_back(1.0 + rng.nextDouble());
+    }
+    const KMeansResult result =
+        kmeansCluster(points, weights, 2, /*seed=*/127);
+    const double reference = bicScore(points, weights, result);
+
+    std::vector<double> cluster_weight(2, 0.0);
+    double weighted_sse = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        const unsigned c = result.assignment[i];
+        cluster_weight[c] += weights[i];
+        weighted_sse +=
+            weights[i] * squaredDistance(points[i], result.centroids[c]);
+    }
+    const double streamed =
+        bicFromStats(points.size(), 2, cluster_weight, weighted_sse);
+    EXPECT_NEAR(streamed, reference,
+                std::abs(reference) * 1e-9 + 1e-9);
+}
+
+// -------------------------------------------------------------- the sink
+
+TEST(StreamingTest, SinkReceivesEveryRegionInIndexOrder)
+{
+    WorkloadParams params;
+    params.threads = 4;
+    params.scale = 0.1;
+    const auto wl = makeWorkload("npb-cg", params);
+
+    struct OrderSink : RegionProfileSink
+    {
+        uint32_t next = 0;
+        void consume(RegionProfile &&profile) override
+        {
+            EXPECT_EQ(profile.regionIndex, next);
+            ++next;
+        }
+    } sink;
+    // A parallel context engages the lookahead-prefetch path; delivery
+    // order must stay by region index regardless.
+    profileWorkloadToSink(*wl, ProfilingConfig::exact(), sink,
+                          ExecutionContext(4));
+    EXPECT_EQ(sink.next, wl->regionCount());
+}
+
+// ------------------------------------------------- determinism contracts
+
+TEST(StreamingTest, BitIdenticalAcrossThreadCounts)
+{
+    WorkloadParams params;
+    params.threads = 4;
+    params.scale = 0.1;
+    const auto wl = makeWorkload("npb-cg", params);
+    const BarrierPointOptions options;
+    StreamingConfig config;
+    config.enabled = true;
+
+    const BarrierPointAnalysis serial =
+        analyzeWorkloadStreaming(*wl, options, config, ExecutionContext(1));
+    for (const unsigned threads : {2u, 8u}) {
+        const BarrierPointAnalysis parallel = analyzeWorkloadStreaming(
+            *wl, options, config, ExecutionContext(threads));
+        expectAnalysisBitEqual(parallel, serial);
+    }
+}
+
+/** Deterministic synthetic profiles, enough of them to force a spill. */
+std::vector<RegionProfile>
+syntheticProfiles(unsigned regions, uint64_t seed)
+{
+    std::vector<RegionProfile> profiles(regions);
+    Rng rng(seed);
+    for (unsigned r = 0; r < regions; ++r) {
+        RegionProfile &profile = profiles[r];
+        profile.regionIndex = r;
+        profile.threads.resize(2);
+        // A handful of phases so clustering has structure to find.
+        const unsigned phase = (r / 97) % 5;
+        for (ThreadProfile &tp : profile.threads) {
+            tp.instructions = 1000 + phase * 500 + rng.nextBounded(100);
+            tp.memOps = tp.instructions / 4;
+            tp.coldAccesses = rng.nextBounded(8);
+            for (unsigned b = 0; b < 6; ++b)
+                tp.bbv[phase * 8 + b] = 10 + rng.nextBounded(50);
+            for (unsigned i = 0; i < 20; ++i)
+                tp.ldv.add(1ull << ((phase + i) % 12));
+        }
+    }
+    return profiles;
+}
+
+TEST(StreamingTest, SpillAndInMemoryStoresAreBitIdentical)
+{
+    // 6000 regions x 15 dims x 8 bytes ~ 720 KB of points: more than
+    // twice a 1 MB budget (spills), far under a 1 GB one (stays in
+    // RAM). Identical explicit batch/reservoir sizes leave the store
+    // as the only difference.
+    const std::vector<RegionProfile> profiles = syntheticProfiles(6000, 3);
+    const BarrierPointOptions options;
+    StreamingConfig config;
+    config.enabled = true;
+    config.batchSize = 512;
+    config.reservoirSize = 256;
+    config.spillDir = ::testing::TempDir();
+
+    config.memoryBudgetBytes = 1ull << 30;
+    StreamingAnalyzer in_memory(
+        static_cast<unsigned>(profiles.size()), options, config);
+    config.memoryBudgetBytes = 1ull << 20;
+    StreamingAnalyzer spilled(
+        static_cast<unsigned>(profiles.size()), options, config);
+    ASSERT_FALSE(in_memory.spillsToDisk());
+    ASSERT_TRUE(spilled.spillsToDisk());
+    EXPECT_EQ(in_memory.batchSize(), spilled.batchSize());
+    EXPECT_EQ(in_memory.reservoirCapacity(), spilled.reservoirCapacity());
+
+    for (const RegionProfile &profile : profiles) {
+        RegionProfile copy = profile;
+        in_memory.consume(std::move(copy));
+        copy = profile;
+        spilled.consume(std::move(copy));
+    }
+    const BarrierPointAnalysis a = in_memory.finish();
+    const BarrierPointAnalysis b = spilled.finish();
+    expectAnalysisBitEqual(a, b);
+    EXPECT_GT(a.points.size(), 1u);
+    ASSERT_EQ(a.regionToPoint.size(), profiles.size());
+    for (const unsigned j : a.regionToPoint)
+        ASSERT_LT(j, a.points.size());
+}
+
+TEST(StreamingTest, ProfilesEntryPointMatchesWorkloadEntryPoint)
+{
+    WorkloadParams params;
+    params.threads = 2;
+    params.scale = 0.1;
+    const auto wl = makeWorkload("npb-is", params);
+    const BarrierPointOptions options;
+    StreamingConfig config;
+    config.enabled = true;
+
+    const std::vector<RegionProfile> profiles =
+        profileWorkload(*wl, options.profiling);
+    const BarrierPointAnalysis from_profiles =
+        analyzeProfilesStreaming(profiles, options, config);
+    const BarrierPointAnalysis from_workload =
+        analyzeWorkloadStreaming(*wl, options, config);
+    expectAnalysisBitEqual(from_profiles, from_workload);
+}
+
+// --------------------------------------------------------- accuracy bound
+
+/**
+ * The streaming accuracy contract: mini-batch centroids differ from
+ * full Lloyd's, but the reconstructed whole-program Estimate must stay
+ * within tolerance of the batch pipeline's on every registered
+ * workload (perfect-warmup stats isolate the analysis quality from
+ * warmup noise).
+ */
+class StreamingAccuracyTest : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(StreamingAccuracyTest, EstimateWithinToleranceOfBatch)
+{
+    WorkloadParams params;
+    params.threads = 4;
+    params.scale = 0.05;
+    const auto wl = makeWorkload(GetParam(), params);
+    const MachineConfig machine = MachineConfig::withCores(4);
+    const BarrierPointOptions options;
+    StreamingConfig config;
+    config.enabled = true;
+
+    const BarrierPointAnalysis batch = analyzeWorkload(*wl, options);
+    const BarrierPointAnalysis streaming =
+        analyzeWorkloadStreaming(*wl, options, config);
+
+    // Mode-independent facts must agree exactly.
+    EXPECT_EQ(streaming.numRegions(), batch.numRegions());
+    EXPECT_EQ(streaming.totalInstructions(), batch.totalInstructions());
+    EXPECT_EQ(streaming.regionInstructions, batch.regionInstructions);
+
+    const RunResult reference = runReference(*wl, machine);
+    const Estimate batch_est = reconstruct(
+        batch, perfectWarmupStats(batch, reference));
+    const Estimate streaming_est = reconstruct(
+        streaming, perfectWarmupStats(streaming, reference));
+
+    EXPECT_LT(percentAbsError(streaming_est.totalCycles,
+                              batch_est.totalCycles),
+              10.0)
+        << GetParam();
+    EXPECT_LT(percentAbsError(streaming_est.ipc(), batch_est.ipc()), 10.0)
+        << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, StreamingAccuracyTest,
+                         ::testing::ValuesIn(workloadNames()));
+
+// --------------------------------------------------------- Experiment mode
+
+WorkloadSpec
+streamSpec()
+{
+    WorkloadSpec spec;
+    spec.name = "npb-is";
+    spec.threads = 2;
+    spec.scale = 0.05;
+    spec.seed = 99;
+    return spec;
+}
+
+size_t
+countFiles(const std::string &dir, const std::string &suffix)
+{
+    size_t n = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        const std::string p = entry.path().string();
+        if (p.size() >= suffix.size() &&
+            p.compare(p.size() - suffix.size(), suffix.size(), suffix) == 0)
+            ++n;
+    }
+    return n;
+}
+
+TEST(StreamingExperimentTest, NoProfileArtifactAndAnalysisRoundTrips)
+{
+    const std::string dir =
+        ::testing::TempDir() + "streaming_experiment_cache";
+    std::filesystem::remove_all(dir);
+
+    Experiment::Config config;
+    config.artifactDir = dir;
+    config.streaming.enabled = true;
+
+    BarrierPointAnalysis first;
+    {
+        Experiment experiment(streamSpec(), config);
+        first = experiment.analysis();
+    }
+    // Streaming mode never materializes profiles, so no profile
+    // artifact may appear; the analysis artifact must.
+    EXPECT_EQ(countFiles(dir, ".profile.bp"), 0u);
+    ASSERT_EQ(countFiles(dir, ".analysis.bp"), 1u);
+
+    {
+        Experiment reloaded(streamSpec(), config);
+        expectAnalysisBitEqual(reloaded.analysis(), first);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(StreamingExperimentTest, BatchAndStreamingArtifactsCoexist)
+{
+    const std::string dir =
+        ::testing::TempDir() + "streaming_experiment_coexist";
+    std::filesystem::remove_all(dir);
+
+    Experiment::Config batch_config;
+    batch_config.artifactDir = dir;
+    Experiment::Config streaming_config = batch_config;
+    streaming_config.streaming.enabled = true;
+
+    Experiment batch(streamSpec(), batch_config);
+    const BarrierPointAnalysis batch_analysis = batch.analysis();
+    Experiment streaming(streamSpec(), streaming_config);
+    streaming.analysis();
+
+    // Distinct artifact keys: the streaming hash separates the files,
+    // so the modes never overwrite each other.
+    EXPECT_EQ(countFiles(dir, ".analysis.bp"), 2u);
+
+    // The batch artifact survives untouched and still round-trips
+    // bit-exactly.
+    Experiment batch_again(streamSpec(), batch_config);
+    expectAnalysisBitEqual(batch_again.analysis(), batch_analysis);
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace bp

@@ -77,6 +77,7 @@ usageText()
         "  analyze    select barrierpoints from a profile artifact\n"
         "               --profile FILE [--signature bbv|reuse_dist|combine]\n"
         "               [--dim D] [--max-k K] [--significance F] [--jobs J]\n"
+        "               [--streaming yes] [--memory-budget SIZE]\n"
         "               -o FILE\n"
         "  simulate   detailed-simulate only the barrierpoints\n"
         "               --analysis FILE --machine NAME [--warmup mru|cold]\n"
@@ -91,6 +92,7 @@ usageText()
         "               [--signature bbv|reuse_dist|combine] [--dim D]\n"
         "               [--max-k K] [--significance F] [--jobs J]\n"
         "               [--profiling exact|sampled:R|sampled_adaptive:S]\n"
+        "               [--streaming yes] [--memory-budget SIZE]\n"
         "               [--artifacts DIR] [--reference yes]\n"
         "  help       print this message (also: bp --help)\n"
         "\n";
@@ -268,6 +270,56 @@ parseProfilingConfig(const std::string &arg)
                      "' (exact, sampled:R, sampled_adaptive:S)");
 }
 
+/**
+ * Parse `--memory-budget 256M` style sizes: a positive integer with an
+ * optional K/M/G suffix (powers of 1024, case-insensitive).
+ */
+uint64_t
+parseMemoryBudget(const std::string &value)
+{
+    char *end = nullptr;
+    const unsigned long long base =
+        std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str())
+        throw UsageError("--memory-budget wants a size like 256M, got '" +
+                         value + "'");
+    unsigned shift = 0;
+    if (*end == 'K' || *end == 'k')
+        shift = 10;
+    else if (*end == 'M' || *end == 'm')
+        shift = 20;
+    else if (*end == 'G' || *end == 'g')
+        shift = 30;
+    if (shift != 0)
+        ++end;
+    if (*end != '\0')
+        throw UsageError("--memory-budget wants a size like 256M, got '" +
+                         value + "'");
+    if (base == 0)
+        throw UsageError("--memory-budget must be positive");
+    const uint64_t bytes = static_cast<uint64_t>(base) << shift;
+    if ((bytes >> shift) != base)
+        throw UsageError("--memory-budget '" + value + "' overflows");
+    return bytes;
+}
+
+/**
+ * Parse `--streaming yes|no` plus its dependent `--memory-budget SIZE`
+ * into @p streaming. The budget only makes sense with streaming on;
+ * passing it alone is a usage error, not a silent no-op.
+ */
+void
+streamingFromArgs(const Args &args, StreamingConfig &streaming)
+{
+    streaming.enabled = args.flag("--streaming");
+    const std::string *budget = args.find("--memory-budget");
+    if (budget && !streaming.enabled)
+        throw UsageError(
+            "--memory-budget is only meaningful with --streaming yes");
+    if (budget)
+        streaming.memoryBudgetBytes = parseMemoryBudget(*budget);
+}
+
 WarmupPolicy
 parseWarmupPolicy(const std::string &name)
 {
@@ -384,6 +436,7 @@ cmdAnalyze(const Args &args)
     const std::string out = args.required("--output");
     Experiment::Config config;
     config.options = analysisOptionsFromArgs(args);
+    streamingFromArgs(args, config.streaming);
     const unsigned jobs = jobsFromArgs(args);
     args.finish();
 
@@ -573,6 +626,7 @@ cmdSweep(const Args &args)
     config.options.profiling =
         parseProfilingConfig(args.optional("--profiling", "exact"));
     config.artifactDir = args.optional("--artifacts", "");
+    streamingFromArgs(args, config.streaming);
     const WarmupPolicy policy =
         parseWarmupPolicy(args.optional("--warmup", "mru"));
     const unsigned jobs = jobsFromArgs(args);
