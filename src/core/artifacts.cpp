@@ -94,7 +94,16 @@ WorkloadSpec::params() const
 std::unique_ptr<Workload>
 WorkloadSpec::instantiate() const
 {
-    return makeWorkload(name, params());
+    std::unique_ptr<Workload> workload = makeWorkload(name, params());
+    if (contentHash != 0 && workload->contentHash() != contentHash)
+        fatal("workload '%s' no longer matches this artifact chain: its "
+              "content hash is %016llx, the artifacts were derived from "
+              "%016llx (the trace file changed; re-record or re-run the "
+              "earlier stages)",
+              name.c_str(),
+              static_cast<unsigned long long>(workload->contentHash()),
+              static_cast<unsigned long long>(contentHash));
+    return workload;
 }
 
 WorkloadSpec
@@ -105,6 +114,7 @@ WorkloadSpec::describe(const Workload &workload)
     spec.threads = workload.params().threads;
     spec.scale = workload.params().scale;
     spec.seed = workload.params().seed;
+    spec.contentHash = workload.contentHash();
     return spec;
 }
 
@@ -152,6 +162,7 @@ WorkloadSpec::serialize(Serializer &s) const
     s.u32(threads);
     s.f64(scale);
     s.u64(seed);
+    s.u64(contentHash);
 }
 
 void
@@ -161,6 +172,7 @@ WorkloadSpec::deserialize(Deserializer &d)
     threads = d.u32();
     scale = d.f64();
     seed = d.u64();
+    contentHash = d.u64();
 }
 
 void

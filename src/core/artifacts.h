@@ -52,12 +52,23 @@ struct WorkloadSpec
     unsigned threads = 8;
     double scale = 1.0;
     uint64_t seed = 12345;
+    /**
+     * Workload::contentHash() of the instance this spec describes —
+     * nonzero only for workloads backed by external content (e.g.
+     * `trace:<path>`). Folded into hash() so artifacts cache against
+     * the recorded bytes, and re-verified by instantiate() so a spec
+     * never silently chains onto a file that changed underneath it.
+     */
+    uint64_t contentHash = 0;
 
     bool operator==(const WorkloadSpec &) const = default;
 
     WorkloadParams params() const;
 
-    /** Build the workload through the registry (fatal on bad name). */
+    /**
+     * Build the workload through the registry (fatal on bad name, and
+     * on a content mismatch when contentHash is nonzero).
+     */
     std::unique_ptr<Workload> instantiate() const;
 
     /** Describe an existing workload instance. */

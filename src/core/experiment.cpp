@@ -75,7 +75,12 @@ saveLending(const std::string &path, Artifact &artifact, T &member,
 Experiment::Experiment(WorkloadSpec spec, Config config,
                        ExecutionContext exec)
     : owned_(spec.instantiate()), workload_(owned_.get()),
-      spec_(std::move(spec)), config_(std::move(config)),
+      // Re-describe rather than keep the caller's spec: describe() is
+      // canonical (trace workloads pin scale/seed and take threads
+      // from the file; contentHash is filled in), so artifact names
+      // and embedded specs never depend on how the caller spelled the
+      // parameters.
+      spec_(WorkloadSpec::describe(*workload_)), config_(std::move(config)),
       exec_(std::move(exec)), optionsHash_(analysisKeyHash(config_)),
       profilingHash_(bp::profilingHash(config_.options.profiling)),
       stem_(sanitizeName(spec_.name) + "-" + hex16(spec_.hash()))

@@ -1,0 +1,46 @@
+#include "src/support/byte_size.h"
+
+#include <limits>
+
+namespace bp {
+
+std::optional<uint64_t>
+parseByteSize(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+    uint64_t value = 0;
+    size_t i = 0;
+    for (; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c < '0' || c > '9')
+            break;
+        const uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (value > (kMax - digit) / 10)
+            return std::nullopt;
+        value = value * 10 + digit;
+    }
+    if (i == 0)  // no digits at all (covers "-1", "K", " 1")
+        return std::nullopt;
+
+    unsigned shift = 0;
+    if (i < text.size()) {
+        switch (text[i]) {
+          case 'K': case 'k': shift = 10; break;
+          case 'M': case 'm': shift = 20; break;
+          case 'G': case 'g': shift = 30; break;
+          default: return std::nullopt;
+        }
+        ++i;
+    }
+    if (i != text.size())  // trailing junk after the suffix
+        return std::nullopt;
+    if (value == 0)
+        return std::nullopt;
+    if (value > (kMax >> shift))
+        return std::nullopt;
+    return value << shift;
+}
+
+} // namespace bp

@@ -30,7 +30,7 @@ class SerializeError : public std::runtime_error
 };
 
 /** On-disk artifact format version; bump on any layout change. */
-constexpr uint32_t kArtifactVersion = 3;
+constexpr uint32_t kArtifactVersion = 4;
 
 /** Append-only little-endian byte sink. */
 class Serializer

@@ -1,6 +1,7 @@
 #include "src/workloads/registry.h"
 
 #include "src/support/logging.h"
+#include "src/trace_io/trace_workload.h"
 #include "src/workloads/factories.h"
 
 namespace bp {
@@ -23,6 +24,17 @@ workloadNames()
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name, const WorkloadParams &params)
 {
+    // Scheme-prefixed names address external content; everything else
+    // is a registered synthetic workload. `trace:` ignores params —
+    // thread count is a property of the file, scale/seed don't apply.
+    const size_t colon = name.find(':');
+    if (colon != std::string::npos) {
+        const std::string scheme = name.substr(0, colon);
+        if (scheme == "trace")
+            return makeTraceWorkload(name.substr(colon + 1));
+        fatal("unknown workload scheme '%s:' in '%s' (supported: trace:)",
+              scheme.c_str(), name.c_str());
+    }
     if (name == "parsec-bodytrack")
         return makeBodytrack(params);
     if (name == "npb-bt")

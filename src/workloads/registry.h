@@ -20,9 +20,13 @@ std::vector<std::string> workloadNames();
 /**
  * Instantiate a workload by name.
  *
- * Valid names are the entries of workloadNames(): parsec-bodytrack,
- * npb-bt, npb-cg, npb-ft, npb-is, npb-lu, npb-mg, npb-sp.
- * Calls fatal() on an unknown name.
+ * Valid names are the entries of workloadNames() — parsec-bodytrack,
+ * npb-bt, npb-cg, npb-ft, npb-is, npb-lu, npb-mg, npb-sp — or a
+ * scheme-prefixed external workload: `trace:<path>` replays a
+ * recorded `.bptrace` file (src/trace_io/), taking its thread count
+ * from the file and ignoring @p params. Calls fatal() on an unknown
+ * name or scheme; trace files that are missing or corrupt throw
+ * TraceError.
  */
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        const WorkloadParams &params);

@@ -67,6 +67,15 @@ class Workload
      */
     virtual RegionTrace generateRegion(unsigned index) const = 0;
 
+    /**
+     * Fingerprint of external content this workload replays, or 0 for
+     * synthetic workloads (whose identity is fully captured by name
+     * and parameters). Trace-backed workloads return the trace file's
+     * content hash so artifact caching keys on the recorded bytes,
+     * not the file's path.
+     */
+    virtual uint64_t contentHash() const { return 0; }
+
   protected:
     /** Scale an element count by params().scale (at least 4). */
     uint64_t scaled(uint64_t count) const;

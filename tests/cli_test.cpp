@@ -167,6 +167,103 @@ TEST(CliTest, BadProfilingValueIsAUsageError)
     EXPECT_EQ(sweep.exitCode, 2);
 }
 
+TEST(CliTest, HelpDocumentsTraceWorkloadsAndTraceCommands)
+{
+    const RunResult result = runCli("--help");
+    EXPECT_EQ(result.exitCode, 0);
+    EXPECT_NE(result.output.find("trace:<path>"), std::string::npos);
+    for (const std::string command : {"record", "ingest", "digest"})
+        EXPECT_NE(result.output.find(command), std::string::npos)
+            << command;
+}
+
+TEST(CliTest, UnknownWorkloadSchemeIsAUsageError)
+{
+    const RunResult result =
+        runCli("profile --workload pinball:foo -o /dev/null");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("unknown workload scheme"),
+              std::string::npos);
+    EXPECT_NE(result.output.find("trace:<path>"), std::string::npos);
+
+    const RunResult empty =
+        runCli("profile --workload trace: -o /dev/null");
+    EXPECT_EQ(empty.exitCode, 2);
+}
+
+TEST(CliTest, MissingTraceFileIsAUsageError)
+{
+    const RunResult result = runCli(
+        "profile --workload trace:/nonexistent/x.bptrace -o /dev/null");
+    EXPECT_EQ(result.exitCode, 2);
+    EXPECT_NE(result.output.find("does not exist"), std::string::npos);
+}
+
+TEST(CliTest, WorkloadParametersDoNotApplyToTraces)
+{
+    for (const std::string knob : {"--threads 4", "--scale 2.0",
+                                   "--seed 7"}) {
+        const RunResult result =
+            runCli("profile --workload trace:x.bptrace " + knob +
+                   " -o /dev/null");
+        EXPECT_EQ(result.exitCode, 2) << knob;
+        EXPECT_NE(result.output.find("do not apply"), std::string::npos)
+            << knob;
+    }
+}
+
+TEST(CliTest, CorruptTraceFileIsARuntimeFailure)
+{
+    const std::string path = ::testing::TempDir() + "cli_garbage.bptrace";
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    // Long enough to pass the minimum-size check and fail on magic.
+    const char junk[] = "this is not a trace file, not even close — "
+                        "it only exists to be rejected by the reader";
+    std::fwrite(junk, 1, sizeof(junk), file);
+    std::fclose(file);
+
+    const RunResult replay =
+        runCli("profile --workload trace:" + path + " -o /dev/null");
+    EXPECT_EQ(replay.exitCode, 1);
+    EXPECT_NE(replay.output.find("fatal"), std::string::npos);
+
+    const RunResult ingest = runCli("ingest --trace " + path);
+    EXPECT_EQ(ingest.exitCode, 1);
+    EXPECT_NE(ingest.output.find("not a bptrace file"),
+              std::string::npos);
+
+    // A missing trace given to ingest is a runtime failure too: the
+    // trace is the object under inspection, like a missing artifact.
+    const RunResult missing =
+        runCli("ingest --trace /nonexistent/x.bptrace");
+    EXPECT_EQ(missing.exitCode, 1);
+
+    std::remove(path.c_str());
+}
+
+TEST(CliTest, ByteSizeOptionsRejectMalformedValues)
+{
+    // One strict parser backs --memory-budget and record's --buffer:
+    // negative numbers, overflow, and trailing junk all exit 2
+    // (strtoull would have read "-1" as 2^64 - 1).
+    for (const std::string bad : {"-1", "0", "12X", "4M2", "", "k",
+                                  "99999999999999999999", "16777216T"}) {
+        const RunResult budget = runCli(
+            "analyze --profile x.bp --streaming yes --memory-budget '" +
+            bad + "' -o /dev/null");
+        EXPECT_EQ(budget.exitCode, 2) << "--memory-budget " << bad;
+        EXPECT_NE(budget.output.find("--memory-budget"),
+                  std::string::npos)
+            << bad;
+
+        const RunResult buffer =
+            runCli("record --workload npb-is --buffer '" + bad +
+                   "' -o /dev/null");
+        EXPECT_EQ(buffer.exitCode, 2) << "--buffer " << bad;
+    }
+}
+
 TEST(CliTest, RuntimeFailuresExitOne)
 {
     // A missing artifact is a runtime failure, not a usage error.

@@ -1,13 +1,16 @@
 /**
  * @file
- * Unit tests for the support library: RNG, histogram, stats, Fenwick.
+ * Unit tests for the support library: RNG, histogram, stats, Fenwick,
+ * byte-size parsing.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
+#include "src/support/byte_size.h"
 #include "src/support/fenwick.h"
 #include "src/support/histogram.h"
 #include "src/support/rng.h"
@@ -15,6 +18,46 @@
 
 namespace bp {
 namespace {
+
+// ---------------------------------------------------------- byte sizes
+
+TEST(ByteSizeTest, ParsesPlainAndSuffixedSizes)
+{
+    EXPECT_EQ(parseByteSize("1"), 1u);
+    EXPECT_EQ(parseByteSize("4096"), 4096u);
+    EXPECT_EQ(parseByteSize("64K"), 64u << 10);
+    EXPECT_EQ(parseByteSize("64k"), 64u << 10);
+    EXPECT_EQ(parseByteSize("256M"), 256ull << 20);
+    EXPECT_EQ(parseByteSize("256m"), 256ull << 20);
+    EXPECT_EQ(parseByteSize("2G"), 2ull << 30);
+    EXPECT_EQ(parseByteSize("2g"), 2ull << 30);
+    // The largest representable values round-trip...
+    EXPECT_EQ(parseByteSize("18446744073709551615"),
+              std::numeric_limits<uint64_t>::max());
+    EXPECT_EQ(parseByteSize("17179869183G"), 17179869183ull << 30);
+}
+
+TEST(ByteSizeTest, RejectsEverythingElse)
+{
+    // ...and one past them overflows.
+    EXPECT_FALSE(parseByteSize("18446744073709551616"));
+    EXPECT_FALSE(parseByteSize("17179869184G"));
+    // Zero, signs, whitespace, and partial consumption are refused —
+    // strtoull would have quietly read "-1" as 2^64 - 1.
+    EXPECT_FALSE(parseByteSize(""));
+    EXPECT_FALSE(parseByteSize("0"));
+    EXPECT_FALSE(parseByteSize("0K"));
+    EXPECT_FALSE(parseByteSize("-1"));
+    EXPECT_FALSE(parseByteSize("+1"));
+    EXPECT_FALSE(parseByteSize(" 1"));
+    EXPECT_FALSE(parseByteSize("1 "));
+    EXPECT_FALSE(parseByteSize("K"));
+    EXPECT_FALSE(parseByteSize("1T"));
+    EXPECT_FALSE(parseByteSize("1KB"));
+    EXPECT_FALSE(parseByteSize("4M2"));
+    EXPECT_FALSE(parseByteSize("0x10"));
+    EXPECT_FALSE(parseByteSize("1.5M"));
+}
 
 // ---------------------------------------------------------------- Rng
 

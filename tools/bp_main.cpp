@@ -23,9 +23,23 @@
  *   bp sweep     --workload npb-cg --machines 8-core,16-core,32-core \
  *                --artifacts cg.artifacts
  *
+ * Recorded traces (src/trace_io/) are workloads too: `bp record`
+ * dumps any workload's full micro-op stream to a `.bptrace` file,
+ * `bp ingest` validates one, and `trace:<path>` replays one anywhere
+ * a workload name is accepted — producing bit-identical profiles,
+ * analyses, and estimates to the workload it recorded. `bp digest`
+ * prints a content digest of an artifact's stage payload so two such
+ * runs can be compared from the shell.
+ *
+ *   bp record    --workload npb-cg --threads 8 -o cg.bptrace
+ *   bp ingest    --trace cg.bptrace --verify yes
+ *   bp profile   --workload trace:cg.bptrace -o cg.profile.bp
+ *   bp digest    --artifact cg.profile.bp
+ *
  * Exit codes: 0 success, 1 runtime failure (unreadable or mismatched
- * artifacts, simulation errors), 2 usage error (unknown command or
- * option, bad value, unknown workload/machine name).
+ * artifacts, corrupt traces, simulation errors), 2 usage error
+ * (unknown command or option, bad value, unknown workload/machine
+ * name, missing trace file).
  */
 
 #include <cstdio>
@@ -36,10 +50,13 @@
 #include <vector>
 
 #include "src/core/barrierpoint.h"
+#include "src/support/byte_size.h"
 #include "src/support/core_set.h"
 #include "src/support/logging.h"
 #include "src/support/serialize.h"
 #include "src/support/stats.h"
+#include "src/trace_io/trace_reader.h"
+#include "src/trace_io/trace_writer.h"
 
 namespace bp {
 namespace {
@@ -94,9 +111,18 @@ usageText()
         "               [--profiling exact|sampled:R|sampled_adaptive:S]\n"
         "               [--streaming yes] [--memory-budget SIZE]\n"
         "               [--artifacts DIR] [--reference yes]\n"
+        "  record     record a workload's full trace to a .bptrace file\n"
+        "               --workload NAME [--threads N] [--scale S] [--seed X]\n"
+        "               [--buffer SIZE] -o FILE\n"
+        "  ingest     validate a recorded trace and print its shape\n"
+        "               --trace FILE [--verify yes]\n"
+        "  digest     print a content digest of an artifact's payload\n"
+        "               --artifact FILE\n"
         "  help       print this message (also: bp --help)\n"
         "\n";
-    text += "workloads: " + joined(workloadNames()) + "\n";
+    text += "workloads: " + joined(workloadNames()) + ",\n"
+            "           or trace:<path> to replay a .bptrace recording "
+            "(see 'bp record')\n";
     text += "machines:  " + joined(MachineConfig::knownNames()) +
             ", or any \"<N>-core\" with N in [1, " +
             std::to_string(kMaxCores) + "]\n";
@@ -270,37 +296,16 @@ parseProfilingConfig(const std::string &arg)
                      "' (exact, sampled:R, sampled_adaptive:S)");
 }
 
-/**
- * Parse `--memory-budget 256M` style sizes: a positive integer with an
- * optional K/M/G suffix (powers of 1024, case-insensitive).
- */
+/** parseByteSize() with the CLI's error convention (exit 2). */
 uint64_t
-parseMemoryBudget(const std::string &value)
+parseSizeOption(const std::string &option, const std::string &value)
 {
-    char *end = nullptr;
-    const unsigned long long base =
-        std::strtoull(value.c_str(), &end, 10);
-    if (end == value.c_str())
-        throw UsageError("--memory-budget wants a size like 256M, got '" +
-                         value + "'");
-    unsigned shift = 0;
-    if (*end == 'K' || *end == 'k')
-        shift = 10;
-    else if (*end == 'M' || *end == 'm')
-        shift = 20;
-    else if (*end == 'G' || *end == 'g')
-        shift = 30;
-    if (shift != 0)
-        ++end;
-    if (*end != '\0')
-        throw UsageError("--memory-budget wants a size like 256M, got '" +
-                         value + "'");
-    if (base == 0)
-        throw UsageError("--memory-budget must be positive");
-    const uint64_t bytes = static_cast<uint64_t>(base) << shift;
-    if ((bytes >> shift) != base)
-        throw UsageError("--memory-budget '" + value + "' overflows");
-    return bytes;
+    const std::optional<uint64_t> bytes = parseByteSize(value);
+    if (!bytes)
+        throw UsageError("option '" + option +
+                         "' wants a positive size like 256M (optional "
+                         "K/M/G suffix), got '" + value + "'");
+    return *bytes;
 }
 
 /**
@@ -317,7 +322,8 @@ streamingFromArgs(const Args &args, StreamingConfig &streaming)
         throw UsageError(
             "--memory-budget is only meaningful with --streaming yes");
     if (budget)
-        streaming.memoryBudgetBytes = parseMemoryBudget(*budget);
+        streaming.memoryBudgetBytes =
+            parseSizeOption("--memory-budget", *budget);
 }
 
 WarmupPolicy
@@ -361,6 +367,38 @@ workloadSpecFromArgs(const Args &args)
 {
     WorkloadSpec spec;
     spec.name = args.required("--workload");
+
+    // Scheme-prefixed names are external workloads. Everything that
+    // would make the registry call fatal() (exit 1) is promoted to a
+    // usage error (exit 2) here: a bad scheme, a missing file, or
+    // parameters that cannot apply to a recording.
+    const size_t colon = spec.name.find(':');
+    if (colon != std::string::npos) {
+        const std::string scheme = spec.name.substr(0, colon);
+        const std::string path = spec.name.substr(colon + 1);
+        if (scheme != "trace")
+            throw UsageError("unknown workload scheme '" + scheme +
+                             ":' (supported: trace:<path>)");
+        if (path.empty())
+            throw UsageError(
+                "trace: wants a file path, as in trace:run.bptrace");
+        if (args.find("--threads") || args.find("--scale") ||
+            args.find("--seed"))
+            throw UsageError(
+                "--threads/--scale/--seed do not apply to a trace "
+                "workload; a recording replays with the thread count "
+                "it was recorded at");
+        if (!fileExists(path))
+            throw UsageError("trace file '" + path + "' does not exist");
+        // Placeholder parameters: the registry takes everything from
+        // the file, and Experiment re-describes the spec from the
+        // opened workload.
+        spec.threads = 1;
+        spec.scale = 1.0;
+        spec.seed = 0;
+        return spec;
+    }
+
     spec.threads = static_cast<unsigned>(args.integer("--threads", 8));
     spec.scale = args.real("--scale", 1.0);
     spec.seed = args.integer("--seed", 12345);
@@ -630,10 +668,17 @@ cmdSweep(const Args &args)
     const WarmupPolicy policy =
         parseWarmupPolicy(args.optional("--warmup", "mru"));
     const unsigned jobs = jobsFromArgs(args);
-    const std::string machines_arg = args.optional(
-        "--machines", std::to_string(spec.threads) + "-core");
+    const std::string *machines_opt = args.find("--machines");
     const bool with_reference = args.flag("--reference");
     args.finish();
+
+    // The experiment must exist before the default machine list can be
+    // derived: a trace workload's thread count lives in the file, not
+    // in the command line (the canonical spec_ has it either way).
+    Experiment experiment(spec, config, ExecutionContext(jobs));
+    const std::string machines_arg =
+        machines_opt ? *machines_opt
+                     : std::to_string(experiment.spec().threads) + "-core";
 
     std::vector<MachineConfig> machines;
     for (size_t begin = 0; begin <= machines_arg.size();) {
@@ -649,7 +694,6 @@ cmdSweep(const Args &args)
         begin = end + 1;
     }
 
-    Experiment experiment(spec, config, ExecutionContext(jobs));
     const auto results = experiment.sweep(machines, policy);
 
     const std::string artifacts_note =
@@ -658,7 +702,7 @@ cmdSweep(const Args &args)
             : " [artifacts: " + config.artifactDir + "]";
     std::printf("%s (%u threads): %zu barrierpoints, %zu machines "
                 "(warmup %s)%s\n",
-                spec.name.c_str(), spec.threads,
+                experiment.spec().name.c_str(), experiment.spec().threads,
                 experiment.analysis().points.size(), machines.size(),
                 warmupPolicyName(policy), artifacts_note.c_str());
     std::printf("%-12s %18s %10s %10s", "machine", "cycles", "ipc",
@@ -680,6 +724,141 @@ cmdSweep(const Args &args)
         }
         std::printf("\n");
     }
+    return 0;
+}
+
+int
+cmdRecord(const Args &args)
+{
+    const WorkloadSpec spec = workloadSpecFromArgs(args);
+    const std::string out = args.required("--output");
+    const std::string *buffer_arg = args.find("--buffer");
+    args.finish();
+    const size_t buffer_bytes =
+        buffer_arg
+            ? static_cast<size_t>(parseSizeOption("--buffer", *buffer_arg))
+            : TraceWriter::kDefaultBufferBytes;
+
+    const std::unique_ptr<Workload> workload = spec.instantiate();
+    TraceWriter writer(out, workload->threadCount(), buffer_bytes);
+    for (unsigned i = 0; i < workload->regionCount(); ++i)
+        writer.appendRegion(workload->generateRegion(i));
+    writer.close();
+    std::printf("recorded %s: %u threads, %llu regions, %llu records "
+                "(%llu bytes) -> %s\n",
+                workload->name().c_str(), writer.threadCount(),
+                static_cast<unsigned long long>(writer.regionCount()),
+                static_cast<unsigned long long>(writer.recordCount()),
+                static_cast<unsigned long long>(writer.fileBytes()),
+                out.c_str());
+    return 0;
+}
+
+int
+cmdIngest(const Args &args)
+{
+    const std::string path = args.required("--trace");
+    const bool verify = args.flag("--verify");
+    args.finish();
+
+    // A missing or corrupt file is a runtime failure (exit 1): the
+    // trace is the object under inspection here, like an artifact
+    // passed to analyze/report — not a workload-name usage error.
+    TraceReader reader(path);
+    if (verify)
+        reader.verifyAll();
+    std::printf("%s: %u threads, %llu regions, %llu ops "
+                "(%llu records, %llu bytes), content %016llx%s\n",
+                path.c_str(), reader.threadCount(),
+                static_cast<unsigned long long>(reader.regionCount()),
+                static_cast<unsigned long long>(reader.opCount()),
+                static_cast<unsigned long long>(reader.recordCount()),
+                static_cast<unsigned long long>(reader.fileBytes()),
+                static_cast<unsigned long long>(reader.contentHash()),
+                verify ? ", all regions verified" : "");
+    return 0;
+}
+
+/** The artifact header's kind field (validated by the real loader). */
+uint32_t
+peekArtifactKind(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        throw SerializeError("cannot open artifact '" + path + "'");
+    uint8_t header[16];
+    const size_t got = std::fread(header, 1, sizeof(header), file);
+    std::fclose(file);
+    if (got != sizeof(header))
+        throw SerializeError("'" + path +
+                             "' is too short to be an artifact");
+    uint32_t kind = 0;
+    for (unsigned b = 0; b < 4; ++b)
+        kind |= static_cast<uint32_t>(header[12 + b]) << (8 * b);
+    return kind;
+}
+
+int
+cmdDigest(const Args &args)
+{
+    const std::string path = args.required("--artifact");
+    args.finish();
+
+    // Digest the stage payload only. The embedded WorkloadSpec (and a
+    // result's options hash) says how the data was produced, not what
+    // it is — and the digest exists to compare runs that produced the
+    // same data different ways, e.g. a trace replay against the
+    // synthetic workload it recorded.
+    Serializer s;
+    switch (static_cast<ArtifactKind>(peekArtifactKind(path))) {
+      case ArtifactKind::Profile: {
+        const ProfileArtifact artifact = loadProfileArtifact(path);
+        s.size(artifact.profiles.size());
+        for (const RegionProfile &profile : artifact.profiles)
+            profile.serialize(s);
+        break;
+      }
+      case ArtifactKind::Analysis: {
+        const AnalysisArtifact artifact = loadAnalysisArtifact(path);
+        artifact.analysis.serialize(s);
+        break;
+      }
+      case ArtifactKind::Snapshots: {
+        const SnapshotArtifact artifact = loadSnapshotArtifact(path);
+        s.u64(artifact.capacityLines);
+        s.u64(artifact.privateLines);
+        s.size(artifact.regions.size());
+        for (const uint32_t region : artifact.regions)
+            s.u32(region);
+        s.size(artifact.snapshots.size());
+        for (const auto &per_core : artifact.snapshots) {
+            s.size(per_core.size());
+            for (const auto &entries : per_core) {
+                s.size(entries.size());
+                for (const MruEntry &entry : entries) {
+                    s.u64(entry.line);
+                    s.boolean(entry.written);
+                    s.boolean(entry.llcDirty);
+                }
+            }
+        }
+        break;
+      }
+      case ArtifactKind::RunResult: {
+        const RunResultArtifact artifact = loadRunResultArtifact(path);
+        artifact.result.serialize(s);
+        break;
+      }
+      default:
+        // Not a plausible artifact; let the strict loader produce the
+        // precise magic/version/size diagnostic.
+        loadProfileArtifact(path);
+        break;
+    }
+    std::printf("%016llx  %s\n",
+                static_cast<unsigned long long>(
+                    fnv1aHash(s.buffer().data(), s.buffer().size())),
+                path.c_str());
     return 0;
 }
 
@@ -722,9 +901,15 @@ bpMain(int argc, char **argv)
             return cmdReport(args);
         if (command == "sweep")
             return cmdSweep(args);
+        if (command == "record")
+            return cmdRecord(args);
+        if (command == "ingest")
+            return cmdIngest(args);
+        if (command == "digest")
+            return cmdDigest(args);
         throw UsageError("unknown command '" + command +
                          "' (profile, analyze, simulate, reference, "
-                         "report, sweep)");
+                         "report, sweep, record, ingest, digest)");
     } catch (const UsageError &error) {
         std::fprintf(stderr, "bp: %s\n(try 'bp --help')\n", error.what());
         return 2;
