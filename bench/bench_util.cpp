@@ -1,8 +1,11 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include <sys/resource.h>
+
+#include "src/support/parse_uint.h"
 
 namespace bp {
 
@@ -10,6 +13,19 @@ std::vector<std::string>
 benchWorkloads()
 {
     return workloadNames();
+}
+
+uint64_t
+parseUintArg(const char *flag, const char *text)
+{
+    const std::optional<uint64_t> parsed = parseUint(text);
+    if (!parsed) {
+        std::fprintf(stderr,
+                     "%s wants a non-negative integer, got '%s'\n",
+                     flag, text);
+        std::exit(2);
+    }
+    return *parsed;
 }
 
 uint64_t

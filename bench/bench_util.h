@@ -36,6 +36,14 @@ uint64_t peakRssBytes();
 /** Print a standard header naming the reproduced table/figure. */
 void printHeader(const std::string &title, const std::string &source);
 
+/**
+ * Strict integer for a bench CLI flag: parseUint() (full consumption,
+ * no signs, no trailing junk, overflow rejected) or exit(2) with a
+ * message naming @p flag — bench binaries must never run a
+ * half-parsed configuration and report numbers for it.
+ */
+uint64_t parseUintArg(const char *flag, const char *text);
+
 /** Memoizing provider of per-(workload, threads) Experiment sessions. */
 class BenchContext
 {

@@ -89,12 +89,12 @@ main(int argc, char **argv)
             workload_name = argv[++i];
         } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
             threads = static_cast<unsigned>(
-                std::strtoull(argv[++i], nullptr, 10));
+                parseUintArg("--threads", argv[++i]));
         } else if (!std::strcmp(argv[i], "--scale") && i + 1 < argc) {
             scale = std::strtod(argv[++i], nullptr);
         } else if (!std::strcmp(argv[i], "--passes") && i + 1 < argc) {
             passes = static_cast<unsigned>(
-                std::strtoull(argv[++i], nullptr, 10));
+                parseUintArg("--passes", argv[++i]));
         } else if (!std::strcmp(argv[i], "--keep-trace") && i + 1 < argc) {
             trace_path = argv[++i];
             keep_trace = true;

@@ -379,7 +379,7 @@ main(int argc, char **argv)
     double check_work_reduction = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--ops") && i + 1 < argc) {
-            ops = std::strtoull(argv[++i], nullptr, 10);
+            ops = parseUintArg("--ops", argv[++i]);
         } else if (!std::strcmp(argv[i], "--json")) {
             json = true;
             if (i + 1 < argc && argv[i + 1][0] != '-')

@@ -82,7 +82,7 @@ class StressWorkload : public Workload
                   default: {  // phase working set, read/write mix
                     const uint64_t addr =
                         base + (1ull << 14) +
-                        rng.nextBounded(1u << (12 + phase)) * 64;
+                        rng.nextBounded(unsigned{1} << (12 + phase)) * 64;
                     ops.push_back(rng.nextBounded(3) == 0
                                       ? MicroOp::store(bb, addr)
                                       : MicroOp::load(bb, addr));
@@ -124,16 +124,16 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--regions") && i + 1 < argc) {
             regions = static_cast<unsigned>(
-                std::strtoull(argv[++i], nullptr, 10));
+                parseUintArg("--regions", argv[++i]));
         } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
             threads = static_cast<unsigned>(
-                std::strtoull(argv[++i], nullptr, 10));
+                parseUintArg("--threads", argv[++i]));
         } else if (!std::strcmp(argv[i], "--mode") && i + 1 < argc) {
             mode = argv[++i];
         } else if (!std::strcmp(argv[i], "--budget") && i + 1 < argc) {
-            budget = std::strtoull(argv[++i], nullptr, 10);
+            budget = parseUintArg("--budget", argv[++i]);
         } else if (!std::strcmp(argv[i], "--check-rss") && i + 1 < argc) {
-            check_rss = std::strtoull(argv[++i], nullptr, 10);
+            check_rss = parseUintArg("--check-rss", argv[++i]);
         } else if (!std::strcmp(argv[i], "--json")) {
             json = true;
             if (i + 1 < argc && argv[i + 1][0] != '-')

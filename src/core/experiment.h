@@ -28,7 +28,11 @@
  * simulate() and the batched sweep() fan out on the shared pool;
  * machines with equal MRU capture capacities share snapshots
  * automatically. Experiment is not thread-safe: drive one instance
- * from one thread and let the stages parallelize internally.
+ * from one thread and let the stages parallelize internally. The
+ * stage memos are unguarded on purpose — every stage returns to the
+ * driving thread before memoizing — and two *processes* may share an
+ * artifact directory while two *threads* may not share an Experiment;
+ * see docs/concurrency.md for the full contract.
  */
 
 #ifndef BP_CORE_EXPERIMENT_H

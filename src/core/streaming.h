@@ -32,6 +32,12 @@
  * (per-k) with results in model-owned slots. Output is bit-identical
  * for any thread count and for the spill vs in-memory store.
  *
+ * Locking contract: none needed. profileWorkloadToSink() delivers
+ * consume(profile) serially, in region-index order, on the driving
+ * thread — the sequential-sink guarantee (docs/concurrency.md) — so
+ * all analyzer state is single-writer. StreamingAnalyzer is not safe
+ * to share across threads.
+ *
  * Streaming results are NOT bit-identical to the batch pipeline —
  * mini-batch centroids differ from full Lloyd centroids. The
  * contract is an accuracy bound instead: reconstructed Estimates

@@ -5,12 +5,27 @@
 
 namespace bp {
 
-BranchPredictor::BranchPredictor(unsigned table_bits)
-    : table_(1u << table_bits), mask_((1u << table_bits) - 1)
+namespace {
+
+/**
+ * Validate-then-shift: the old member-initializer `1u << table_bits`
+ * ran *before* the constructor body's assertion, so an out-of-range
+ * width was shift UB first and a diagnostic second.
+ */
+unsigned
+predictorTableSize(unsigned table_bits)
 {
     BP_ASSERT(table_bits >= 1 && table_bits <= 24,
               "unreasonable predictor size");
+    return unsigned{1} << table_bits;
 }
+
+} // namespace
+
+BranchPredictor::BranchPredictor(unsigned table_bits)
+    : table_(predictorTableSize(table_bits)),
+      mask_(predictorTableSize(table_bits) - 1)
+{}
 
 bool
 BranchPredictor::predictAndTrain(uint32_t from_bb, uint32_t to_bb)

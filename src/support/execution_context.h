@@ -14,6 +14,11 @@
  * owned, borrowed when not), so an ExecutionContext can be passed
  * around by value and every stage of a session fans out on the same
  * workers — the model bp::Experiment (core/experiment.h) builds on.
+ *
+ * Thread safety: immutable after construction; copying and every
+ * const method are safe from any thread, and concurrent fan-out from
+ * several copies is covered by ThreadPool's own contract
+ * (docs/concurrency.md, tests/thread_pool_test.cpp).
  */
 
 #ifndef BP_SUPPORT_EXECUTION_CONTEXT_H

@@ -49,7 +49,11 @@ Pow2Histogram::bucketLow(unsigned index)
 {
     if (index == 0)
         return 0;
-    return 1ull << index;
+    // Buckets are capped at 64, so a valid index is always a legal
+    // shift; assert the precondition instead of shifting into UB on a
+    // corrupt index (the `1u << x` class bp_lint guards against).
+    BP_ASSERT(index < 64, "bucket index out of range");
+    return uint64_t{1} << index;
 }
 
 std::vector<double>

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Annotated lock types: the repo's std::mutex front-ends.
+ *
+ * Clang's thread-safety analysis (support/thread_annotations.h) only
+ * tracks lock types that declare a capability, and libstdc++'s
+ * std::mutex / std::lock_guard do not — so locking anywhere in bp
+ * goes through these wrappers instead:
+ *
+ *   Mutex     — std::mutex with BP_CAPABILITY, so members can be
+ *               BP_GUARDED_BY(mu) and methods BP_REQUIRES(mu)
+ *   MutexLock — std::lock_guard equivalent, analysis-visible
+ *   UniqueLock— std::unique_lock equivalent for condition waits
+ *   ConditionVariable — std::condition_variable_any over UniqueLock
+ *
+ * Condition predicates are written as explicit `while (!pred) wait()`
+ * loops rather than the two-argument wait(lock, pred) overload: the
+ * analysis cannot see into a lambda, but in the manual loop every
+ * guarded read happens in a scope where it can prove the capability
+ * is held.
+ *
+ * Zero-cost: each wrapper is a single inlined forwarding call around
+ * the std type; ConditionVariable uses condition_variable_any, whose
+ * generic wait path is the same lock/unlock pair the std::mutex
+ * specialization performs.
+ */
+
+#ifndef BP_SUPPORT_MUTEX_H
+#define BP_SUPPORT_MUTEX_H
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/support/thread_annotations.h"
+
+namespace bp {
+
+class BP_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() BP_ACQUIRE() { mutex_.lock(); }
+    void unlock() BP_RELEASE() { mutex_.unlock(); }
+    bool try_lock() BP_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  private:
+    std::mutex mutex_;
+};
+
+/** RAII lock held for the full scope (std::lock_guard equivalent). */
+class BP_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) BP_ACQUIRE(mutex) : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+    ~MutexLock() BP_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * RAII lock that a ConditionVariable can release and re-acquire
+ * around a wait (std::unique_lock equivalent; always locked outside
+ * of an in-progress wait, so the analysis model of "held for the
+ * whole scope" matches every point the caller's code can observe).
+ */
+class BP_SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex &mutex) BP_ACQUIRE(mutex) : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+    ~UniqueLock() BP_RELEASE() { mutex_.unlock(); }
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+    /** BasicLockable surface for condition_variable_any::wait. */
+    void lock() BP_NO_THREAD_SAFETY_ANALYSIS { mutex_.lock(); }
+    void unlock() BP_NO_THREAD_SAFETY_ANALYSIS { mutex_.unlock(); }
+
+  private:
+    Mutex &mutex_;
+};
+
+/**
+ * Condition variable over UniqueLock. Waits temporarily release the
+ * lock; write predicates as explicit loops:
+ *
+ *   UniqueLock lock(mutex_);
+ *   while (!condition_)   // guarded read, provably under mutex_
+ *       cv_.wait(lock);
+ */
+class ConditionVariable
+{
+  public:
+    void wait(UniqueLock &lock) { cv_.wait(lock); }
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable_any cv_;
+};
+
+} // namespace bp
+
+#endif // BP_SUPPORT_MUTEX_H

@@ -1,0 +1,25 @@
+#include "src/support/parse_uint.h"
+
+#include <limits>
+
+namespace bp {
+
+std::optional<uint64_t>
+parseUint(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+    uint64_t value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        const uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (value > (kMax - digit) / 10)
+            return std::nullopt;  // would overflow uint64_t
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
+} // namespace bp

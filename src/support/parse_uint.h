@@ -1,0 +1,38 @@
+/**
+ * @file
+ * parseUint: the one parser for plain decimal integers.
+ *
+ * Sibling of parseByteSize (support/byte_size.h) with the same
+ * contract philosophy: the *whole* string must be a value, and every
+ * way strtoull is permissive — leading whitespace, a sign ("-1"
+ * silently becomes 2^64 - 1), trailing junk ("8x" parses as 8),
+ * saturating overflow with errno out-of-band — is a parse failure
+ * here. Anything in the tree that turns user text into an integer
+ * (CLI options, config knobs) funnels through this function; the
+ * repo linter (tools/lint/bp_lint.py) rejects raw strtoull / strtol /
+ * atoi call sites outside src/support/ so the permissive class cannot
+ * come back.
+ */
+
+#ifndef BP_SUPPORT_PARSE_UINT_H
+#define BP_SUPPORT_PARSE_UINT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace bp {
+
+/**
+ * Parse a non-negative decimal integer. The whole string must be
+ * digits — no signs, no whitespace, no base prefixes, no trailing
+ * junk — and values that overflow uint64_t are rejected rather than
+ * wrapped or saturated. @return nullopt on any violation; the caller
+ * owns the error message (a usage error for the CLI, a plain failure
+ * elsewhere).
+ */
+std::optional<uint64_t> parseUint(const std::string &text);
+
+} // namespace bp
+
+#endif // BP_SUPPORT_PARSE_UINT_H

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "src/support/logging.h"
+#include "src/support/mutex.h"
 
 namespace bp {
 
@@ -26,10 +27,11 @@ struct ForJob
     std::atomic<uint64_t> next;
     std::atomic<unsigned> active{0};
 
-    std::mutex mutex;
-    std::condition_variable done;
-    std::exception_ptr error;
-    uint64_t error_index = UINT64_MAX;
+    /** Guards the error slot; also the done-waiter's wait lock. */
+    Mutex mutex;
+    ConditionVariable done;
+    std::exception_ptr error BP_GUARDED_BY(mutex);
+    uint64_t error_index BP_GUARDED_BY(mutex) = UINT64_MAX;
 
     /** Drain chunks until the index space is exhausted. */
     void
@@ -53,7 +55,7 @@ struct ForJob
                     // already ran — the smallest throwing index is
                     // always among the recorded ones.
                     {
-                        std::lock_guard<std::mutex> lock(mutex);
+                        MutexLock lock(mutex);
                         if (i < error_index) {
                             error_index = i;
                             error = std::current_exception();
@@ -88,7 +90,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     wake_.notify_all();
@@ -103,8 +105,12 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            UniqueLock lock(mutex_);
+            // Manual predicate loop: the analysis can prove these
+            // guarded reads happen under mutex_, which it cannot for
+            // a predicate lambda.
+            while (!stop_ && queue_.empty())
+                wake_.wait(lock);
             if (queue_.empty())
                 return;  // stop_ set and queue drained
             task = std::move(queue_.front().task);
@@ -126,7 +132,7 @@ ThreadPool::submit(std::function<void()> task)
         return future;
     }
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         BP_ASSERT(!stop_, "submit() on a stopped pool");
         queue_.push_back({[packaged] { (*packaged)(); }, nullptr});
     }
@@ -163,13 +169,13 @@ ThreadPool::parallelFor(uint64_t begin, uint64_t end,
         std::min<size_t>(workers_.size(),
                          (end - begin + grain - 1) / grain);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         BP_ASSERT(!stop_, "parallelFor() on a stopped pool");
         for (size_t h = 0; h < helpers; ++h) {
             job->active.fetch_add(1, std::memory_order_relaxed);
             queue_.push_back({[job] {
                 job->drain();
-                std::lock_guard<std::mutex> lock(job->mutex);
+                MutexLock lock(job->mutex);
                 if (job->active.fetch_sub(
                         1, std::memory_order_acq_rel) == 1) {
                     job->done.notify_all();
@@ -191,7 +197,7 @@ ThreadPool::parallelFor(uint64_t begin, uint64_t end,
     // work (e.g. prefetch tasks) would be no-ops — cancel them rather
     // than sleep until they surface.
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         unsigned cancelled = 0;
         std::erase_if(queue_, [&](const QueueEntry &entry) {
             if (entry.tag != job.get())
@@ -200,20 +206,26 @@ ThreadPool::parallelFor(uint64_t begin, uint64_t end,
             return true;
         });
         if (cancelled > 0) {
-            std::lock_guard<std::mutex> job_lock(job->mutex);
+            MutexLock job_lock(job->mutex);
             job->active.fetch_sub(cancelled, std::memory_order_acq_rel);
         }
     }
 
-    // Wait for helpers still inside their last chunk.
+    // Wait for helpers still inside their last chunk, then surface
+    // any recorded exception. The error slot is read under the same
+    // lock it is written under: the post-wait read is ordered by the
+    // wait itself, but only the lock makes that discipline checkable,
+    // and a future early-exit path would silently turn the unlocked
+    // read into a real race.
+    std::exception_ptr error;
     {
-        std::unique_lock<std::mutex> lock(job->mutex);
-        job->done.wait(lock, [&] {
-            return job->active.load(std::memory_order_acquire) == 0;
-        });
+        UniqueLock lock(job->mutex);
+        while (job->active.load(std::memory_order_acquire) != 0)
+            job->done.wait(lock);
+        error = job->error;
     }
-    if (job->error)
-        std::rethrow_exception(job->error);
+    if (error)
+        std::rethrow_exception(error);
 }
 
 void

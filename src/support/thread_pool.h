@@ -30,14 +30,15 @@
 #ifndef BP_SUPPORT_THREAD_POOL_H
 #define BP_SUPPORT_THREAD_POOL_H
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/support/mutex.h"
+#include "src/support/thread_annotations.h"
 
 namespace bp {
 
@@ -122,11 +123,15 @@ class ThreadPool
 
     void workerLoop();
 
+    /** Immutable after construction; joined (only) by the destructor. */
     std::vector<std::thread> workers_;
-    std::deque<QueueEntry> queue_;
-    mutable std::mutex mutex_;
-    std::condition_variable wake_;
-    bool stop_ = false;
+
+    /** Guards the task queue and the shutdown flag below. */
+    mutable Mutex mutex_;
+    /** Signalled under mutex_ on new work and on shutdown. */
+    ConditionVariable wake_;
+    std::deque<QueueEntry> queue_ BP_GUARDED_BY(mutex_);
+    bool stop_ BP_GUARDED_BY(mutex_) = false;
 };
 
 /**

@@ -20,6 +20,11 @@
  * close() keeps its deliberately invalid initial header and is
  * rejected by TraceReader — a crashed recording can never replay as a
  * short-but-valid trace.
+ *
+ * Concurrency contract (docs/concurrency.md): one recording thread
+ * per writer, no locks; the per-thread buffers batch per *simulated*
+ * thread. Record to distinct files from distinct threads. TraceReader
+ * is read-only over an mmap and safe to share once opened.
  */
 
 #ifndef BP_TRACE_IO_TRACE_WRITER_H

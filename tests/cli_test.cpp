@@ -127,7 +127,8 @@ TEST(CliTest, BadOptionValueIsAUsageError)
     const RunResult threads =
         runCli("profile --workload npb-is --threads lots -o /dev/null");
     EXPECT_EQ(threads.exitCode, 2);
-    EXPECT_NE(threads.output.find("wants an integer"), std::string::npos);
+    EXPECT_NE(threads.output.find("wants a non-negative integer"),
+              std::string::npos);
 
     const RunResult range =
         runCli("profile --workload npb-is --threads 1025 -o /dev/null");
@@ -143,6 +144,45 @@ TEST(CliTest, BadOptionValueIsAUsageError)
         runCli("profile --workload npb-is --jobs -1 -o /dev/null");
     EXPECT_EQ(jobs.exitCode, 2);
     EXPECT_NE(jobs.output.find("--jobs"), std::string::npos);
+}
+
+TEST(CliTest, IntegerOptionsRejectEveryStrtoullLeniency)
+{
+    // Integer options parse through the strict parseUint(), not
+    // strtoull: trailing junk ("8x" used to read as 8), signs ("-1"
+    // used to read as 2^64 - 1, "+8" as 8), embedded or leading
+    // whitespace, empty values, base prefixes, and overflow must all
+    // exit 2 with the option named, never run with a half-parsed or
+    // wrapped value.
+    for (const std::string bad :
+         {"8x", "-1", "+8", "' 8'", "'8 '", "0x10", "''",
+          "99999999999999999999999999"}) {
+        for (const std::string option : {"--threads", "--seed"}) {
+            const RunResult result =
+                runCli("profile --workload npb-is " + option + " " +
+                       bad + " -o /dev/null");
+            EXPECT_EQ(result.exitCode, 2) << option << " " << bad;
+            EXPECT_NE(result.output.find(option), std::string::npos)
+                << option << " " << bad;
+            EXPECT_NE(result.output.find("wants a non-negative integer"),
+                      std::string::npos)
+                << option << " " << bad;
+        }
+    }
+    // The same class through `--profiling sampled_adaptive:S`, whose
+    // budget is parsed from the mode string rather than an option.
+    for (const std::string bad :
+         {"sampled_adaptive:64x", "sampled_adaptive:-1",
+          "sampled_adaptive:+64",
+          "sampled_adaptive:99999999999999999999999999"}) {
+        const RunResult result =
+            runCli("profile --workload npb-is --profiling " + bad +
+                   " -o /dev/null");
+        EXPECT_EQ(result.exitCode, 2) << bad;
+        EXPECT_NE(result.output.find("sampled_adaptive"),
+                  std::string::npos)
+            << bad;
+    }
 }
 
 TEST(CliTest, BadProfilingValueIsAUsageError)

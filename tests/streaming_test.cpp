@@ -280,7 +280,7 @@ syntheticProfiles(unsigned regions, uint64_t seed)
             for (unsigned b = 0; b < 6; ++b)
                 tp.bbv[phase * 8 + b] = 10 + rng.nextBounded(50);
             for (unsigned i = 0; i < 20; ++i)
-                tp.ldv.add(1ull << ((phase + i) % 12));
+                tp.ldv.add(uint64_t{1} << ((phase + i) % 12));
         }
     }
     return profiles;

@@ -173,8 +173,8 @@ TEST(HistogramTest, BucketOfSmallValues)
 TEST(HistogramTest, BucketBoundaries)
 {
     for (unsigned n = 1; n < 40; ++n) {
-        EXPECT_EQ(Pow2Histogram::bucketOf(1ull << n), n);
-        EXPECT_EQ(Pow2Histogram::bucketOf((1ull << (n + 1)) - 1), n);
+        EXPECT_EQ(Pow2Histogram::bucketOf(uint64_t{1} << n), n);
+        EXPECT_EQ(Pow2Histogram::bucketOf((uint64_t{1} << (n + 1)) - 1), n);
     }
 }
 

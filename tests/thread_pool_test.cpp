@@ -10,8 +10,10 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "src/support/execution_context.h"
 #include "src/support/thread_pool.h"
 
 namespace bp {
@@ -116,6 +118,79 @@ TEST(ThreadPoolTest, NestedParallelForDegradesToSerialNotDeadlock)
         });
     });
     EXPECT_EQ(total.load(), 8u * 120u);
+}
+
+/**
+ * TSan-targeted stress: oversubscribed pool (more executors than the
+ * hardware likely has, far more tasks than executors), nested
+ * parallelFor from inside workers, and reentrant submit() from inside
+ * parallelFor bodies — the shapes ROADMAP item 3's sweep daemon will
+ * produce. Asserts full completion and result identity against the
+ * serial loop; under -fsanitize=thread (the CI tsan job) it is the
+ * pool's race detector.
+ */
+TEST(ThreadPoolTest, OversubscribedNestedStressMatchesSerial)
+{
+    ThreadPool pool(16);  // deliberately past most CI hardware
+    constexpr size_t outer = 64, inner = 32;
+
+    // The serial reference: out[i] = sum of f(i, j) over inner js.
+    auto cell = [](uint64_t i, uint64_t j) { return i * 1000003 + j * j; };
+    std::vector<uint64_t> expected(outer);
+    for (uint64_t i = 0; i < outer; ++i)
+        for (uint64_t j = 0; j < inner; ++j)
+            expected[i] += cell(i, j);
+
+    for (int round = 0; round < 8; ++round) {
+        std::vector<uint64_t> out(outer, 0);
+        std::atomic<unsigned> submitted{0};
+        pool.parallelFor(0, outer, [&](uint64_t i) {
+            // Nested fan-out runs inline on this executor; writes go
+            // to the index-owned slot, per the determinism contract.
+            pool.parallelFor(0, inner, [&](uint64_t j) {
+                out[i] += cell(i, j);
+            });
+            // Reentrant submission from inside a drain: must neither
+            // deadlock nor run behind the enclosing parallelFor's
+            // completion.
+            auto done = pool.submit(
+                [&] { submitted.fetch_add(1, std::memory_order_relaxed); });
+            done.wait();
+        });
+        EXPECT_EQ(out, expected) << "round " << round;
+        EXPECT_EQ(submitted.load(), outer);
+    }
+}
+
+/**
+ * Concurrent ExecutionContext sharing: several external threads drive
+ * parallel work on one shared pool at once (copies of one context,
+ * passed by value as the stages do). Every driver must see its own
+ * complete, serial-identical result.
+ */
+TEST(ThreadPoolTest, ConcurrentExecutionContextSharingIsRaceFree)
+{
+    ExecutionContext shared(4);
+    constexpr size_t drivers = 4, n = 2000;
+
+    std::vector<uint64_t> expected(n);
+    for (uint64_t i = 0; i < n; ++i)
+        expected[i] = i * i + i;
+
+    std::vector<std::vector<uint64_t>> results(drivers);
+    std::vector<std::thread> threads;
+    for (size_t d = 0; d < drivers; ++d) {
+        threads.emplace_back([&, d, context = shared]() mutable {
+            results[d] = context.pool().parallelMap<uint64_t>(
+                n, [](size_t i) {
+                    return static_cast<uint64_t>(i) * i + i;
+                });
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    for (size_t d = 0; d < drivers; ++d)
+        EXPECT_EQ(results[d], expected) << "driver " << d;
 }
 
 TEST(ThreadPoolTest, EmptyRangeIsANoOp)

@@ -52,6 +52,7 @@
 #include "src/core/barrierpoint.h"
 #include "src/support/byte_size.h"
 #include "src/support/core_set.h"
+#include "src/support/parse_uint.h"
 #include "src/support/logging.h"
 #include "src/support/serialize.h"
 #include "src/support/stats.h"
@@ -183,13 +184,16 @@ class Args
         const std::string *value = find(key);
         if (!value)
             return fallback;
-        char *end = nullptr;
-        const unsigned long long parsed =
-            std::strtoull(value->c_str(), &end, 10);
-        if (end == value->c_str() || *end != '\0')
-            throw UsageError("option '" + key + "' wants an integer, got '" +
+        // Strict full-consumption parse: signs, whitespace, trailing
+        // junk, and overflow are all usage errors, never wrapped or
+        // truncated values (strtoull accepted "8x" as 8 and "-1" as
+        // 2^64 - 1 here once).
+        const std::optional<uint64_t> parsed = parseUint(*value);
+        if (!parsed)
+            throw UsageError("option '" + key +
+                             "' wants a non-negative integer, got '" +
                              *value + "'");
-        return parsed;
+        return *parsed;
     }
 
     double
@@ -278,13 +282,12 @@ parseProfilingConfig(const std::string &arg)
         return ProfilingConfig::sampled(rate);
     }
     if (mode == "sampled_adaptive" || mode == "adaptive") {
-        char *end = nullptr;
-        const unsigned long long s_max =
-            value.empty() ? 0 : std::strtoull(value.c_str(), &end, 10);
-        if (value.empty() || end == value.c_str() || *end != '\0')
+        const std::optional<uint64_t> parsed = parseUint(value);
+        if (!parsed)
             throw UsageError("--profiling sampled_adaptive wants a line "
                              "budget (sampled_adaptive:S), got '" +
                              arg + "'");
+        const uint64_t s_max = *parsed;
         if (s_max < 1 || s_max > kMaxTrackedLines)
             throw UsageError("--profiling adaptive line budget must lie "
                              "in [1, " +

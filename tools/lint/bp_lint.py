@@ -1,0 +1,477 @@
+#!/usr/bin/env python3
+"""bp_lint: repo-invariant linter for the BarrierPoint tree.
+
+Every rule here encodes a bug class the repo has already paid for
+once, so review never has to re-catch it:
+
+  shift-variable    Variable-index raw shifts of a literal one
+                    (`1u << x`, `1ull << x`): the UB class behind the
+                    old 32-core ceiling (PRs 3/7). Shifting `1u` by a
+                    runtime index is UB at >= 32 and silently truncates
+                    wide masks. Sanctioned idiom: assert the bound,
+                    then shift a braced-init-typed one
+                    (`uint64_t{1} << n`), as support/core_set.h does.
+                    Shifts by integer literals or by `k`-named
+                    constexpr constants are allowed.
+
+  raw-parse         `strtoull` / `strtol` / `atoi` family outside
+                    src/support/: the permissive-parsing class (PR 9 —
+                    "8x" parses as 8, "-1" as 2^64-1). User text is
+                    parsed by the strict full-consumption helpers
+                    parseUint / parseByteSize in src/support/ only.
+
+  mutex-guard       A mutex member whose file never states what it
+                    guards (no `BP_GUARDED_BY(member)` sibling): with
+                    clang `-Wthread-safety` in CI, an unannotated
+                    mutex is a mutex the analysis cannot check.
+
+  header-guard      A header with neither `#pragma once` nor an
+                    include-guard `#ifndef`/`#define` pair.
+
+  artifact-version  Structural edits to src/core/artifacts.h without a
+                    kArtifactVersion bump (src/support/serialize.h):
+                    serialized-struct drift must invalidate on-disk
+                    artifacts, never reinterpret them. Checked against
+                    `git diff` when available; silent otherwise.
+
+Usage:
+  bp_lint.py [--root DIR] [--diff-base REF] [--list-rules]
+  bp_lint.py --self-test
+
+Exit codes: 0 clean, 1 findings, 2 internal error / bad invocation.
+`--self-test` seeds one violation fixture per rule and asserts each
+rule fires on it (and stays quiet on a clean fixture).
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+SCAN_DIRS = ("src", "tools", "tests", "bench")
+SOURCE_EXTENSIONS = (".h", ".hpp", ".cpp", ".cc")
+
+# Files exempt per rule (paths relative to the repo root).
+SHIFT_EXEMPT_FILES = {"src/support/core_set.h"}
+PARSE_ALLOWED_DIR = "src/support"
+MUTEX_EXEMPT_FILES = {"src/support/mutex.h"}
+
+ARTIFACT_STRUCT_FILE = "src/core/artifacts.h"
+ARTIFACT_VERSION_FILE = "src/support/serialize.h"
+ARTIFACT_VERSION_TOKEN = "kArtifactVersion"
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so rules never fire on prose or quoted examples."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            if end == -1:
+                end = n
+            out.append(" " * (end - i))
+            i = end
+        elif c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:end]))
+            i = end
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i > 1
+                                                    else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+# --------------------------------------------------------------- rules
+
+SHIFT_RE = re.compile(r"\b1(?:[uU][lL]{0,2}|[lL]{1,2}[uU]?|[uU])\s*<<")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+# Identifiers allowed in a shift index: constexpr constants by naming
+# convention plus compile-time operators.
+CONSTEXPR_IDENT_RE = re.compile(r"k[A-Z]\w*$")
+SHIFT_IDENT_WHITELIST = {"sizeof", "alignof"}
+
+
+def shift_rhs(code, start):
+    """The shift-index expression: text after `<<` until the end of
+    the enclosing expression (`;`, `,`, or an unmatched `)`)."""
+    depth = 0
+    j = start
+    while j < len(code):
+        c = code[j]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            if depth == 0:
+                break
+            depth -= 1
+        elif c in ";," and depth == 0:
+            break
+        elif c == "\n" and depth == 0 and code[start:j].strip():
+            break
+        j += 1
+    return code[start:j]
+
+
+def check_shifts(rel_path, code):
+    if rel_path in SHIFT_EXEMPT_FILES:
+        return []
+    findings = []
+    for match in SHIFT_RE.finditer(code):
+        rhs = shift_rhs(code, match.end())
+        idents = IDENT_RE.findall(rhs)
+        if all(ident in SHIFT_IDENT_WHITELIST or
+               CONSTEXPR_IDENT_RE.match(ident) for ident in idents):
+            continue  # literal or constexpr-named index: well defined
+        findings.append(Finding(
+            "shift-variable", rel_path, line_of(code, match.start()),
+            "variable-index shift of a literal one is the repo's "
+            "known shift-UB class; assert the bound and use "
+            "`uint64_t{1} << n` (see support/core_set.h), got "
+            f"`{code[match.start():match.end()]} {rhs.strip()}`"))
+    return findings
+
+
+PARSE_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(strtoull|strtoul|strtol|strtoll|strtoumax|"
+    r"strtoimax|atoi|atol|atoll)\s*\(")
+
+
+def check_raw_parse(rel_path, code):
+    if rel_path.startswith(PARSE_ALLOWED_DIR + "/"):
+        return []
+    findings = []
+    for match in PARSE_RE.finditer(code):
+        findings.append(Finding(
+            "raw-parse", rel_path, line_of(code, match.start()),
+            f"raw {match.group(1)}() accepts signs, whitespace and "
+            "trailing junk; use parseUint()/parseByteSize() from "
+            "src/support/ instead"))
+    return findings
+
+
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:std\s*::\s*mutex|Mutex)\s+(\w+)\s*;",
+    re.MULTILINE)
+
+
+def check_mutex_guards(rel_path, code):
+    if rel_path in MUTEX_EXEMPT_FILES:
+        return []
+    findings = []
+    for match in MUTEX_MEMBER_RE.finditer(code):
+        name = match.group(1)
+        if re.search(r"BP_GUARDED_BY\(\s*" + re.escape(name) + r"\s*\)",
+                     code):
+            continue
+        findings.append(Finding(
+            "mutex-guard", rel_path, line_of(code, match.start()),
+            f"mutex member '{name}' has no BP_GUARDED_BY({name}) "
+            "sibling: state what it guards so -Wthread-safety can "
+            "check it (support/thread_annotations.h)"))
+    return findings
+
+
+def check_header_guard(rel_path, raw_text, code):
+    if not rel_path.endswith((".h", ".hpp")):
+        return []
+    if "#pragma once" in raw_text:
+        return []
+    ifndef = re.search(r"#\s*ifndef\s+(\w+)", code)
+    if ifndef and re.search(r"#\s*define\s+" + re.escape(ifndef.group(1)),
+                            code):
+        return []
+    return [Finding(
+        "header-guard", rel_path, 1,
+        "header has neither `#pragma once` nor an #ifndef/#define "
+        "include guard")]
+
+
+DIFF_FILE_RE = re.compile(r"^\+\+\+ b/(.*)$", re.MULTILINE)
+
+
+def diff_touches(diff_text, path, token=None):
+    """True when @p diff_text contains a structural (non-comment,
+    non-blank) added/removed line in @p path — optionally only lines
+    containing @p token."""
+    current = None
+    for line in diff_text.splitlines():
+        if line.startswith("+++ b/"):
+            current = line[6:]
+        elif line.startswith("--- "):
+            continue
+        elif current == path and line[:1] in "+-" and \
+                not line.startswith(("+++", "---")):
+            body = line[1:].strip()
+            if not body or body.startswith(("//", "/*", "*", "*/")):
+                continue  # comment/blank churn never forces a bump
+            if token is None or token in body:
+                return True
+    return False
+
+
+def collect_git_diff(root, diff_base):
+    """Unified diff of everything this checkout changes: working tree
+    and index vs HEAD, plus HEAD vs @p diff_base when given. Returns
+    None when git is unavailable (rule goes silent, as specified)."""
+    chunks = []
+    commands = [["git", "diff", "HEAD"], ["git", "diff", "--cached"]]
+    if diff_base:
+        commands.append(["git", "diff", diff_base + "...HEAD"])
+    for command in commands:
+        try:
+            result = subprocess.run(
+                command, cwd=root, capture_output=True, text=True,
+                timeout=60)
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if result.returncode != 0:
+            return None
+        chunks.append(result.stdout)
+    return "\n".join(chunks)
+
+
+def check_artifact_version(diff_text):
+    if diff_text is None:
+        return []
+    if not diff_touches(diff_text, ARTIFACT_STRUCT_FILE):
+        return []
+    if diff_touches(diff_text, ARTIFACT_VERSION_FILE,
+                    ARTIFACT_VERSION_TOKEN):
+        return []
+    return [Finding(
+        "artifact-version", ARTIFACT_STRUCT_FILE, 0,
+        "serialized-struct change without a kArtifactVersion bump in "
+        f"{ARTIFACT_VERSION_FILE}: on-disk artifacts written by older "
+        "builds would be reinterpreted instead of invalidated")]
+
+
+# ---------------------------------------------------------------- driver
+
+def iter_source_files(root):
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(root, scan_dir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in ("build", "__pycache__"))
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def lint_tree(root, diff_base=None):
+    findings = []
+    for path in iter_source_files(root):
+        rel_path = os.path.relpath(path, root).replace(os.sep, "/")
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                raw_text = f.read()
+        except OSError as err:
+            findings.append(Finding("io", rel_path, 0, str(err)))
+            continue
+        code = strip_comments_and_strings(raw_text)
+        findings.extend(check_shifts(rel_path, code))
+        findings.extend(check_raw_parse(rel_path, code))
+        findings.extend(check_mutex_guards(rel_path, code))
+        findings.extend(check_header_guard(rel_path, raw_text, code))
+    findings.extend(
+        check_artifact_version(collect_git_diff(root, diff_base)))
+    return findings
+
+
+# -------------------------------------------------------------- self-test
+
+CLEAN_FIXTURE = """\
+#ifndef BP_FIXTURE_CLEAN_H
+#define BP_FIXTURE_CLEAN_H
+#include "src/support/thread_annotations.h"
+namespace bp {
+inline constexpr unsigned kFixtureBits = 12;
+struct Clean
+{
+    // Prose about strtoull() and `1u << x` must never fire a rule.
+    uint64_t a = 1u << 5;                  // literal index: fine
+    uint64_t b = uint64_t{1} << kFixtureBits;  // sanctioned idiom
+    Mutex mutex_;
+    int guarded_ BP_GUARDED_BY(mutex_) = 0;
+};
+const char *example = "atoi(argv[1]) inside a string literal";
+} // namespace bp
+#endif // BP_FIXTURE_CLEAN_H
+"""
+
+VIOLATION_FIXTURES = {
+    "shift-variable": """\
+#pragma once
+unsigned long mask(unsigned n) { return 1ull << n; }
+""",
+    "raw-parse": """\
+#pragma once
+#include <cstdlib>
+long parse(const char *s) { return std::strtol(s, nullptr, 10); }
+""",
+    "mutex-guard": """\
+#pragma once
+#include <mutex>
+struct Unguarded
+{
+    std::mutex mutex_;
+    int state_ = 0;
+};
+""",
+    "header-guard": """\
+struct NoGuard {};
+""",
+}
+
+ARTIFACT_VIOLATION_DIFF = """\
+--- a/src/core/artifacts.h
++++ b/src/core/artifacts.h
+@@ -10,6 +10,7 @@ struct ProfileArtifact
+     std::string name;
++    uint64_t newly_serialized_field = 0;
+"""
+
+ARTIFACT_CLEAN_DIFFS = (
+    # Same edit plus the version bump: no finding.
+    ARTIFACT_VIOLATION_DIFF + """\
+--- a/src/support/serialize.h
++++ b/src/support/serialize.h
+@@ -30,1 +30,1 @@
+-constexpr uint32_t kArtifactVersion = 4;
++constexpr uint32_t kArtifactVersion = 5;
+""",
+    # Comment-only churn in artifacts.h: no bump required.
+    """\
+--- a/src/core/artifacts.h
++++ b/src/core/artifacts.h
+@@ -5,3 +5,3 @@
+-// old wording
++// new wording
+""",
+)
+
+
+def run_self_test():
+    failures = []
+
+    def expect(condition, what):
+        print(("ok   " if condition else "FAIL ") + what)
+        if not condition:
+            failures.append(what)
+
+    with tempfile.TemporaryDirectory(prefix="bp_lint_selftest_") as tmp:
+        # Violation fixtures go under src/core/ — NOT src/support/,
+        # where the raw-parse rule deliberately allows the parsing
+        # helpers themselves.
+        src_core = os.path.join(tmp, "src", "core")
+        os.makedirs(src_core)
+        clean_path = os.path.join(src_core, "clean_fixture.h")
+        with open(clean_path, "w", encoding="utf-8") as f:
+            f.write(CLEAN_FIXTURE)
+        expect(not lint_tree(tmp),
+               "clean fixture produces no findings")
+
+        for rule, fixture in sorted(VIOLATION_FIXTURES.items()):
+            path = os.path.join(src_core, f"{rule}_fixture.h")
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(fixture)
+            found = [f for f in lint_tree(tmp) if f.rule == rule]
+            expect(bool(found), f"rule '{rule}' fires on its seeded "
+                                "violation fixture")
+            os.remove(path)
+
+    violated = check_artifact_version(ARTIFACT_VIOLATION_DIFF)
+    expect(bool(violated),
+           "rule 'artifact-version' fires on a serialized-struct diff "
+           "without a version bump")
+    for i, clean_diff in enumerate(ARTIFACT_CLEAN_DIFFS):
+        expect(not check_artifact_version(clean_diff),
+               f"rule 'artifact-version' stays quiet on clean diff {i}")
+    expect(not check_artifact_version(None),
+           "rule 'artifact-version' is silent without git")
+
+    if failures:
+        print(f"self-test: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("self-test: all rules fire on their seeded violations")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="bp_lint.py",
+        description="repo-invariant linter for the BarrierPoint tree")
+    parser.add_argument(
+        "--root",
+        default=os.path.normpath(
+            os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "..", "..")),
+        help="repo root to scan (default: two levels above this file)")
+    parser.add_argument(
+        "--diff-base", default=None, metavar="REF",
+        help="also check committed changes since REF for the "
+             "artifact-version rule (e.g. origin/main)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on a seeded "
+                             "violation, then exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print("shift-variable raw-parse mutex-guard header-guard "
+              "artifact-version")
+        return 0
+    if args.self_test:
+        return run_self_test()
+
+    findings = lint_tree(args.root, args.diff_base)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"bp_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("bp_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except KeyboardInterrupt:
+        sys.exit(2)
